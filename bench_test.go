@@ -1,0 +1,273 @@
+package pag_test
+
+// One benchmark per paper table/figure (DESIGN.md experiment index).
+// Benchmarks report two kinds of numbers: Go wall-clock per run (the
+// cost of running the reproduction) and, where meaningful, the
+// simulated 1987 running time via the sim_ms metric — the number the
+// paper actually plots.
+
+import (
+	"fmt"
+	"testing"
+
+	"pag/internal/arena"
+	"pag/internal/cluster"
+	"pag/internal/eval"
+	"pag/internal/experiments"
+	"pag/internal/rope"
+	"pag/internal/symtab"
+	"pag/internal/vax"
+	"pag/internal/workload"
+)
+
+func benchPoint(b *testing.B, mode cluster.Mode, machines int, opts cluster.Options) {
+	b.Helper()
+	var last experiments.Fig5Point
+	for i := 0; i < b.N; i++ {
+		pt, err := experiments.RunPoint(mode, machines, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pt
+	}
+	b.ReportMetric(float64(last.EvalTime.Milliseconds()), "sim_ms")
+	b.ReportMetric(float64(last.Frags), "frags")
+}
+
+// BenchmarkFig5 regenerates every point of the running-times figure.
+func BenchmarkFig5(b *testing.B) {
+	for _, mode := range []cluster.Mode{cluster.Combined, cluster.Dynamic} {
+		for m := 1; m <= experiments.MaxMachines; m++ {
+			b.Run(fmt.Sprintf("%s/machines=%d", mode, m), func(b *testing.B) {
+				benchPoint(b, mode, m, experiments.DefaultOptions())
+			})
+		}
+	}
+}
+
+// BenchmarkT3Sequential compares the sequential evaluators (CPU time
+// and allocation of the reproduction itself, plus simulated time).
+func BenchmarkT3Sequential(b *testing.B) {
+	b.Run("static", func(b *testing.B) { benchPoint(b, cluster.Combined, 1, experiments.DefaultOptions()) })
+	b.Run("dynamic", func(b *testing.B) { benchPoint(b, cluster.Dynamic, 1, experiments.DefaultOptions()) })
+}
+
+// BenchmarkT2CombinedStats reports the dynamic-evaluation fraction.
+func BenchmarkT2CombinedStats(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.T2DynamicFraction(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = f
+	}
+	b.ReportMetric(frac*100, "dyn_pct")
+}
+
+// BenchmarkT4Librarian measures result propagation with and without
+// the string librarian.
+func BenchmarkT4Librarian(b *testing.B) {
+	withLib := experiments.DefaultOptions()
+	naive := experiments.DefaultOptions()
+	naive.Librarian = false
+	b.Run("librarian", func(b *testing.B) { benchPoint(b, cluster.Combined, 5, withLib) })
+	b.Run("naive", func(b *testing.B) { benchPoint(b, cluster.Combined, 5, naive) })
+}
+
+// BenchmarkT5Pipeline runs the pipelined-compiler baseline.
+func BenchmarkT5Pipeline(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.T5Pipeline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Speedup
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkT7Priority measures the priority-attribute ablation.
+func BenchmarkT7Priority(b *testing.B) {
+	on := experiments.DefaultOptions()
+	off := experiments.DefaultOptions()
+	off.NoPriority = true
+	b.Run("priority", func(b *testing.B) { benchPoint(b, cluster.Dynamic, 5, on) })
+	b.Run("fifo", func(b *testing.B) { benchPoint(b, cluster.Dynamic, 5, off) })
+}
+
+// BenchmarkT8UniqueIDs measures the unique-identifier ablation.
+func BenchmarkT8UniqueIDs(b *testing.B) {
+	preset := experiments.DefaultOptions()
+	chain := experiments.DefaultOptions()
+	chain.UIDPreset = false
+	b.Run("preset", func(b *testing.B) { benchPoint(b, cluster.Combined, 5, preset) })
+	b.Run("chain", func(b *testing.B) { benchPoint(b, cluster.Combined, 5, chain) })
+}
+
+// BenchmarkT9Parse measures real parser throughput on the course
+// program (the reproduction's own speed, not simulated).
+func BenchmarkT9Parse(b *testing.B) {
+	l := experiments.Lang()
+	src := experiments.Source()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT10Assemble measures the size assembler.
+func BenchmarkT10Assemble(b *testing.B) {
+	r, err := experiments.T10AssemblySize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.Ratio, "asm_to_mc_ratio")
+	job, err := experiments.Job()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	opts.Machines = 1
+	opts.Mode = cluster.Combined
+	res, err := cluster.Run(job, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(res.Program)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vax.MachineSize(res.Program)
+	}
+}
+
+// BenchmarkT11ParallelMake runs the parallel-make baseline.
+func BenchmarkT11ParallelMake(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.T11ParallelMake()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Speedup
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkT12Rope compares O(1) rope concatenation against flat
+// string concatenation for building a code attribute from n snippets.
+func BenchmarkT12Rope(b *testing.B) {
+	const n = 2000
+	snippet := "\tmovl r0, r1\n"
+	b.Run("rope", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var r *rope.Rope
+			for j := 0; j < n; j++ {
+				r = rope.Concat(r, rope.Leaf(snippet))
+			}
+			if r.Len() != n*len(snippet) {
+				b.Fatal("bad length")
+			}
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := ""
+			for j := 0; j < n; j++ {
+				s += snippet
+			}
+			if len(s) != n*len(snippet) {
+				b.Fatal("bad length")
+			}
+		}
+	})
+}
+
+// BenchmarkT12Symtab measures applicative symbol-table updates.
+func BenchmarkT12Symtab(b *testing.B) {
+	names := make([]string, 256)
+	for i := range names {
+		names[i] = fmt.Sprintf("ident%03d", i)
+	}
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := symtab.New()
+			for j, n := range names {
+				t = t.Add(n, j)
+			}
+		}
+	})
+	b.Run("lookup", func(b *testing.B) {
+		t := symtab.New()
+		for j, n := range names {
+			t = t.Add(n, j)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := t.Lookup(names[i%len(names)]); !ok {
+				b.Fatal("missing")
+			}
+		}
+	})
+}
+
+// BenchmarkT12Arena compares bump allocation against the Go allocator
+// (the paper's "very fast memory allocation ... no provision for
+// reusing memory").
+func BenchmarkT12Arena(b *testing.B) {
+	type node struct {
+		a, b, c int64
+		p       *node
+	}
+	b.Run("arena", func(b *testing.B) {
+		var ar arena.Arena[node]
+		for i := 0; i < b.N; i++ {
+			n := ar.New()
+			n.a = int64(i)
+		}
+	})
+	b.Run("new", func(b *testing.B) {
+		var sink *node
+		for i := 0; i < b.N; i++ {
+			n := &node{a: int64(i)}
+			sink = n
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkEvaluators measures the reproduction's own evaluator
+// throughput on the course program (attribute instances per second).
+func BenchmarkEvaluators(b *testing.B) {
+	l := experiments.Lang()
+	src := workload.Generate(workload.Small())
+	b.Run("static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			root, err := l.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := eval.NewStatic(l.A, eval.Hooks{})
+			if err := st.EvaluateTree(root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			root, err := l.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := eval.NewDynamic(l.G, root, eval.Hooks{})
+			d.Run()
+			if !d.Done() {
+				b.Fatal("blocked")
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+// Command agdump prints the OAG analysis of a built-in grammar: the
+// attribute phases of every nonterminal and, with -plans, the visit
+// sequence of every production — the artifacts the static evaluator
+// generator precomputes (paper §2.3).
+//
+//	agdump -grammar pascal
+//	agdump -grammar expr -plans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pag/internal/ag"
+	"pag/internal/exprlang"
+	"pag/internal/pascal"
+)
+
+func main() {
+	name := flag.String("grammar", "expr", "grammar to analyze: expr or pascal")
+	plans := flag.Bool("plans", false, "print per-production visit sequences")
+	flag.Parse()
+
+	if err := run(*name, *plans); err != nil {
+		fmt.Fprintln(os.Stderr, "agdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, plans bool) error {
+	var g *ag.Grammar
+	var a *ag.Analysis
+	switch name {
+	case "expr":
+		l, err := exprlang.New()
+		if err != nil {
+			return err
+		}
+		g = l.G
+		a, err = ag.Analyze(g)
+		if err != nil {
+			return err
+		}
+	case "pascal":
+		l, err := pascal.New()
+		if err != nil {
+			return err
+		}
+		g, a = l.G, l.A
+	default:
+		return fmt.Errorf("unknown grammar %q (expr, pascal)", name)
+	}
+
+	rules := 0
+	for _, p := range g.Prods {
+		rules += len(p.Rules)
+	}
+	fmt.Printf("grammar %s: %d symbols, %d productions, %d semantic rules\n\n",
+		g.Name, len(g.Symbols), len(g.Prods), rules)
+
+	fmt.Println("attribute phases (visit in which each attribute becomes available):")
+	for _, s := range g.Symbols {
+		if s.Terminal {
+			continue
+		}
+		var parts []string
+		for v, ph := range a.Phases(s) {
+			var names []string
+			for _, ai := range ph.Inh {
+				names = append(names, "↓"+s.Attrs[ai].Name)
+			}
+			for _, ai := range ph.Syn {
+				names = append(names, "↑"+s.Attrs[ai].Name)
+			}
+			parts = append(parts, fmt.Sprintf("visit %d: %s", v+1, strings.Join(names, " ")))
+		}
+		fmt.Printf("  %-12s %s\n", s.Name, strings.Join(parts, " | "))
+	}
+
+	if plans {
+		fmt.Println("\nvisit sequences:")
+		for _, p := range g.Prods {
+			plan := a.Plan(p)
+			fmt.Printf("  %s\n", p)
+			for v, seg := range plan.Segments {
+				var ops []string
+				for _, op := range seg {
+					if op.Kind == ag.OpEval {
+						sym := p.Sym(op.Occ)
+						ops = append(ops, fmt.Sprintf("eval %d.%s", op.Occ, sym.Attrs[op.Attr].Name))
+					} else {
+						ops = append(ops, fmt.Sprintf("visit child %d #%d", op.Child, op.Visit))
+					}
+				}
+				fmt.Printf("    visit %d: %s\n", v+1, strings.Join(ops, "; "))
+			}
+		}
+	}
+	return nil
+}

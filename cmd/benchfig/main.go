@@ -1,0 +1,136 @@
+// Command benchfig regenerates every figure and table of the paper's
+// evaluation section on the simulated 1987 testbed and prints them in
+// the layout of the paper. Use -fig to select one artifact:
+//
+//	benchfig            # everything
+//	benchfig -fig 5     # Figure 5 (running times)
+//	benchfig -fig 6     # Figure 6 (behaviour Gantt chart)
+//	benchfig -fig 7     # Figure 7 (source decomposition)
+//	benchfig -tables    # the textual claims T1..T12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pag/internal/cluster"
+	"pag/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (5, 6 or 7); 0 = all")
+	tables := flag.Bool("tables", false, "print only the table experiments")
+	width := flag.Int("width", 100, "gantt chart width")
+	flag.Parse()
+
+	if err := run(*fig, *tables, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, tablesOnly bool, width int) error {
+	if !tablesOnly && (fig == 0 || fig == 5) {
+		r, err := experiments.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if !tablesOnly && (fig == 0 || fig == 6) {
+		tr, res, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 6: behaviour of the combined evaluator (5 machines)")
+		fmt.Print(tr.Gantt(width))
+		fmt.Printf("evaluation time: %v, %d messages, %d payload bytes\n\n",
+			res.EvalTime, res.Messages, res.Bytes)
+	}
+	if !tablesOnly && (fig == 0 || fig == 7) {
+		d, err := experiments.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 7: source program decomposition (5 machines)")
+		fmt.Print(d.Describe())
+		fmt.Printf("balance (max/mean): %.2f\n\n", d.Balance())
+	}
+	if fig != 0 && !tablesOnly {
+		return nil
+	}
+
+	fmt.Println("Table experiments (paper section 4/5 claims)")
+	fmt.Println("--------------------------------------------")
+	if r, err := experiments.Fig5(); err == nil {
+		fmt.Printf("T1  combined speedup at 5 machines: %.2fx (paper: ~4x)\n",
+			r.Speedup(cluster.Combined, 5))
+		fmt.Printf("T2  dynamically evaluated attributes (combined, 5 machines): %.2f%% (paper: small)\n",
+			r.Combined[4].DynFrac*100)
+		fmt.Printf("T3  sequential dynamic/static ratio: %.2fx (paper: static clearly faster)\n",
+			float64(r.Dynamic[0].EvalTime)/float64(r.Combined[0].EvalTime))
+		fmt.Printf("T6  5 machines %.2fs vs 6 machines %.2fs (paper: five is best)\n",
+			r.Combined[4].EvalTime.Seconds(), r.Combined[5].EvalTime.Seconds())
+	} else {
+		return err
+	}
+	if a, err := experiments.T4Librarian(); err == nil {
+		fmt.Printf("T4  string librarian saves %.1f%% (paper: ~10%%)\n", (a.Improvement()-1)*100)
+	} else {
+		return err
+	}
+	if p, err := experiments.T5Pipeline(); err == nil {
+		fmt.Printf("T5  pipelined compiler speedup: %.2fx on %d stages (paper: limited to ~2)\n",
+			p.Speedup, p.Stages)
+	} else {
+		return err
+	}
+	if a, err := experiments.T7Priority(); err == nil {
+		fmt.Printf("T7  priority attributes save %.1f%% in the dynamic evaluator\n", (a.Improvement()-1)*100)
+	} else {
+		return err
+	}
+	if a, err := experiments.T8UniqueIDs(); err == nil {
+		fmt.Printf("T8  per-evaluator unique-id bases: %.2fx faster than the propagated chain\n", a.Improvement())
+	} else {
+		return err
+	}
+	if r, err := experiments.T9ParseShare(); err == nil {
+		fmt.Printf("T9  parsing is %.0f%% of sequential compilation (%v of %v)\n",
+			r.Share*100, r.ParseTime, r.ParseTime+r.EvalTime)
+	} else {
+		return err
+	}
+	if r, err := experiments.T10AssemblySize(); err == nil {
+		fmt.Printf("T10 assembly text %.1fx larger than machine code (%d vs %d bytes)\n",
+			r.Ratio, r.AssemblyBytes, r.MachineBytes)
+	} else {
+		return err
+	}
+	if r, err := experiments.T11ParallelMake(); err == nil {
+		fmt.Printf("T11 parallel make speedup: %.2fx on 6 machines (link %.2fs sequential)\n",
+			r.Speedup, r.LinkTime.Seconds())
+	} else {
+		return err
+	}
+
+	fmt.Println("\nExtension experiments (paper section 6 hypotheses)")
+	fmt.Println("---------------------------------------------------")
+	if pts, err := experiments.E1ExpensiveAttributes(); err == nil {
+		fmt.Print(experiments.RenderSweep("E1: speedup vs attribute evaluation cost (5 machines)", "cpu-scale", pts))
+	} else {
+		return err
+	}
+	if pts, err := experiments.E2NetworkLatency(); err == nil {
+		fmt.Print(experiments.RenderSweep("E2: speedup vs message latency (5 machines)", "lat-scale", pts))
+	} else {
+		return err
+	}
+	if pts, err := experiments.E3GranularitySweep(); err == nil {
+		fmt.Print(experiments.RenderSweep("E3: running time vs split granularity (5 machines)", "size/gran", pts))
+	} else {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command pagc is the parallel Pascal compiler generated from the
+// attribute grammar, running on the simulated network multiprocessor:
+//
+//	pagc [flags] file.pas       # compile a file
+//	pagc -workload course ...   # compile a generated workload instead
+//
+// Flags select the machine count, the evaluator (combined or dynamic),
+// the decomposition granularity and the §4.3 optimizations; -gantt
+// prints the machine activity chart and -S the produced VAX assembly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pag/internal/cluster"
+	"pag/internal/experiments"
+	"pag/internal/pascal"
+	"pag/internal/workload"
+)
+
+func main() {
+	machines := flag.Int("n", 1, "number of evaluator machines (1..6)")
+	mode := flag.String("mode", "combined", "evaluator: combined or dynamic")
+	gran := flag.Int("granularity", 0, "split granularity in bytes (0 = tree size / machines)")
+	noLib := flag.Bool("nolibrarian", false, "disable the string librarian")
+	chain := flag.Bool("uidchain", false, "propagate unique-id counters instead of per-evaluator bases")
+	gantt := flag.Bool("gantt", false, "print the machine activity chart")
+	asm := flag.Bool("S", false, "print the produced VAX assembly")
+	wl := flag.String("workload", "", "compile a generated workload (tiny, small, course) instead of a file")
+	flag.Parse()
+
+	if err := run(*machines, *mode, *gran, *noLib, *chain, *gantt, *asm, *wl, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "pagc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machines int, modeName string, gran int, noLib, chain, gantt, asm bool, wl string, args []string) error {
+	var src string
+	switch {
+	case wl != "":
+		var cfg workload.Config
+		switch wl {
+		case "tiny":
+			cfg = workload.Tiny()
+		case "small":
+			cfg = workload.Small()
+		case "course":
+			cfg = workload.CourseCompiler()
+		default:
+			return fmt.Errorf("unknown workload %q (tiny, small, course)", wl)
+		}
+		src = workload.Generate(cfg)
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("usage: pagc [flags] file.pas  (or -workload course)")
+	}
+
+	var mode cluster.Mode
+	switch modeName {
+	case "combined":
+		mode = cluster.Combined
+	case "dynamic":
+		mode = cluster.Dynamic
+	default:
+		return fmt.Errorf("unknown mode %q (combined, dynamic)", modeName)
+	}
+
+	l := pascal.MustNew()
+	job, err := l.ClusterJob(src)
+	if err != nil {
+		return err
+	}
+	opts := experiments.DefaultOptions()
+	opts.Machines = machines
+	opts.Mode = mode
+	opts.Granularity = gran
+	opts.Librarian = !noLib
+	opts.UIDPreset = !chain
+
+	res, err := cluster.Run(job, opts)
+	if err != nil {
+		return err
+	}
+
+	if errs, ok := res.RootAttrs[pascal.ProgAttrErrs].([]string); ok && len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "error:", e)
+		}
+		return fmt.Errorf("%d semantic error(s)", len(errs))
+	}
+
+	fmt.Printf("compiled on %d machine(s), %s evaluator: parse %v + evaluate %v\n",
+		machines, mode, res.ParseTime, res.EvalTime)
+	fmt.Printf("fragments: %d %v, %d messages, %d payload bytes, %.1f%% attributes dynamic\n",
+		res.Frags, res.Decomp.Sizes(), res.Messages, res.Bytes,
+		res.Stats.DynamicFraction()*100)
+	if gantt {
+		fmt.Print(res.Trace.Gantt(100))
+	}
+	if asm {
+		fmt.Println(res.Program)
+	} else {
+		fmt.Printf("generated %d bytes of VAX assembly (use -S to print)\n", len(res.Program))
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package pag_test
+
+// Shape assertions for every experiment in DESIGN.md's index: the
+// simulated reproduction is not expected to match the paper's absolute
+// numbers (our substrate is a simulator, not six SUN-2s), but who wins,
+// by roughly what factor, and where the crossovers fall must agree.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pag/internal/cluster"
+	"pag/internal/experiments"
+)
+
+var (
+	fig5Once sync.Once
+	fig5Data *experiments.Fig5Result
+	fig5Err  error
+)
+
+func fig5(t *testing.T) *experiments.Fig5Result {
+	t.Helper()
+	fig5Once.Do(func() { fig5Data, fig5Err = experiments.Fig5() })
+	if fig5Err != nil {
+		t.Fatalf("Fig5: %v", fig5Err)
+	}
+	return fig5Data
+}
+
+func TestF5CombinedBeatsDynamicEverywhere(t *testing.T) {
+	r := fig5(t)
+	for i := 0; i < experiments.MaxMachines; i++ {
+		if r.Combined[i].EvalTime >= r.Dynamic[i].EvalTime {
+			t.Errorf("machines=%d: combined %v >= dynamic %v (paper: combined consistently better)",
+				i+1, r.Combined[i].EvalTime, r.Dynamic[i].EvalTime)
+		}
+	}
+}
+
+func TestT1SpeedupBands(t *testing.T) {
+	r := fig5(t)
+	// Paper §4.1: "approximately 4 times faster than the sequential
+	// version" on 5 machines for the combined evaluator.
+	if s := r.Speedup(cluster.Combined, 5); s < 3.0 || s > 5.5 {
+		t.Errorf("combined speedup at 5 machines = %.2f, want ~4 (band 3.0–5.5)", s)
+	}
+	// The parallel dynamic evaluator also speeds up substantially.
+	if s := r.Speedup(cluster.Dynamic, 5); s < 2.0 {
+		t.Errorf("dynamic speedup at 5 machines = %.2f, want >= 2", s)
+	}
+	// Sequentially, the static/combined evaluator clearly beats the
+	// dynamic one (the CPU cost of dependency analysis).
+	ratio := float64(r.Dynamic[0].EvalTime) / float64(r.Combined[0].EvalTime)
+	if ratio < 1.3 {
+		t.Errorf("sequential dynamic/static ratio = %.2f, want > 1.3", ratio)
+	}
+}
+
+func TestT6BestAtFiveMachines(t *testing.T) {
+	r := fig5(t)
+	// Paper §4.1: running time does not decrease monotonically; the
+	// best performance is obtained with five machines, six is worse
+	// because the decomposition is less even.
+	for m := 2; m <= 5; m++ {
+		if r.Combined[m-1].EvalTime >= r.Combined[m-2].EvalTime {
+			t.Errorf("combined: %d machines (%v) not faster than %d (%v)",
+				m, r.Combined[m-1].EvalTime, m-1, r.Combined[m-2].EvalTime)
+		}
+	}
+	if r.Combined[5].EvalTime <= r.Combined[4].EvalTime {
+		t.Errorf("combined: 6 machines (%v) should be slower than 5 (%v): uneven decomposition",
+			r.Combined[5].EvalTime, r.Combined[4].EvalTime)
+	}
+}
+
+func TestT2DynamicFractionSmall(t *testing.T) {
+	r := fig5(t)
+	// Paper §4.1: "on average less than N percent of the attributes are
+	// evaluated dynamically" — the vast majority is static.
+	for i := 1; i < experiments.MaxMachines; i++ {
+		if f := r.Combined[i].DynFrac; f >= 0.10 {
+			t.Errorf("machines=%d: dynamic fraction %.3f, want < 0.10", i+1, f)
+		}
+	}
+	// The purely dynamic evaluator evaluates everything dynamically.
+	if f := r.Dynamic[3].DynFrac; f != 1.0 {
+		t.Errorf("dynamic evaluator fraction = %.3f, want 1.0", f)
+	}
+}
+
+func TestF6PhaseStructure(t *testing.T) {
+	tr, res, err := experiments.Fig6()
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	start := tr.LastMarkTime("ready") // all evaluators have their subtree
+	envDone := tr.LastMarkTime("got env")
+	done := tr.MarkTime("results complete")
+	if start < 0 || envDone < 0 || done < 0 {
+		t.Fatalf("missing phase marks (start=%v envDone=%v done=%v)", start, envDone, done)
+	}
+	evals := []string{"eval-a", "eval-b", "eval-c", "eval-d", "eval-e"}
+	// Symbol-table propagation is sequential: the global table reaches
+	// the fragments one network hop at a time, in process-tree order.
+	var envTimes []int64
+	for _, m := range tr.Marks {
+		if m.Label == "got env" {
+			envTimes = append(envTimes, int64(m.At))
+		}
+	}
+	if len(envTimes) < 4 {
+		t.Fatalf("only %d 'got env' marks; want one per non-root fragment", len(envTimes))
+	}
+	for i := 1; i < len(envTimes); i++ {
+		if envTimes[i] <= envTimes[i-1] {
+			t.Errorf("env propagation not sequential: hop %d at %d <= hop %d at %d",
+				i, envTimes[i], i-1, envTimes[i-1])
+		}
+	}
+	// Concurrency during the symbol-table phase is much lower than
+	// during code generation (paper Figure 6: thin lines early, thick
+	// parallel lines during code generation).
+	symtabConc := tr.Concurrency(evals, start, envDone)
+	codegenConc := tr.Concurrency(evals, envDone, done)
+	if codegenConc < 2.5 {
+		t.Errorf("code generation concurrency = %.2f, want >= 2.5 (paper: good concurrency)", codegenConc)
+	}
+	if symtabConc > 0.8*codegenConc {
+		t.Errorf("symbol-table concurrency %.2f not clearly below code generation %.2f",
+			symtabConc, codegenConc)
+	}
+	if res.Frags != 5 {
+		t.Errorf("fragments = %d, want 5", res.Frags)
+	}
+	// The chart must render with one line per machine plus the
+	// librarian.
+	g := tr.Gantt(90)
+	for _, proc := range append(evals, "librarian", "parser") {
+		if !strings.Contains(g, proc) {
+			t.Errorf("Gantt missing process %s", proc)
+		}
+	}
+}
+
+func TestF7Decomposition(t *testing.T) {
+	d, err := experiments.Fig7()
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	if d.NumFragments() != 5 {
+		t.Fatalf("fragments = %d, want 5 (paper Figure 7: a..e)", d.NumFragments())
+	}
+	// Paper §4.1: the five-machine decomposition yields subtrees of
+	// about equal size.
+	if b := d.Balance(); b > 1.35 {
+		t.Errorf("decomposition balance max/mean = %.2f, want <= 1.35 (about equal size)", b)
+	}
+	desc := d.Describe()
+	for _, label := range []string{"a:", "b:", "c:", "d:", "e:"} {
+		if !strings.Contains(desc, label) {
+			t.Errorf("decomposition description missing fragment %q:\n%s", label, desc)
+		}
+	}
+}
+
+func TestT4LibrarianSavings(t *testing.T) {
+	a, err := experiments.T4Librarian()
+	if err != nil {
+		t.Fatalf("T4: %v", err)
+	}
+	// Paper §4.3: the librarian improves running time by roughly 10%;
+	// accept 3%–40% on the simulator.
+	imp := a.Improvement()
+	if imp < 1.03 {
+		t.Errorf("librarian improvement = %.3f, want >= 1.03 (paper: ~10%%)", imp)
+	}
+	if imp > 1.6 {
+		t.Errorf("librarian improvement = %.3f suspiciously large (paper: ~10%%)", imp)
+	}
+}
+
+func TestT5PipelineCap(t *testing.T) {
+	r, err := experiments.T5Pipeline()
+	if err != nil {
+		t.Fatalf("T5: %v", err)
+	}
+	// Paper §5: pipelining the compiler phases yields speedups limited
+	// to about 2 despite using four machines.
+	if r.Speedup < 1.2 {
+		t.Errorf("pipeline speedup = %.2f, want >= 1.2", r.Speedup)
+	}
+	if r.Speedup > 3.0 {
+		t.Errorf("pipeline speedup = %.2f, want <= 3.0 (paper: limited to ~2)", r.Speedup)
+	}
+}
+
+func TestT7PriorityAblation(t *testing.T) {
+	a, err := experiments.T7Priority()
+	if err != nil {
+		t.Fatalf("T7: %v", err)
+	}
+	// Without priority attributes the dynamic evaluator's ready queue
+	// buries the global symbol table behind local work (paper §4.3's
+	// "pathological situations"): disabling them must cost time.
+	if imp := a.Improvement(); imp < 1.02 {
+		t.Errorf("priority-attribute improvement = %.3f, want >= 1.02", imp)
+	}
+}
+
+func TestT8UniqueIDAblation(t *testing.T) {
+	a, err := experiments.T8UniqueIDs()
+	if err != nil {
+		t.Fatalf("T8: %v", err)
+	}
+	// Paper §4.3: with a propagated counter "virtually all evaluators
+	// wait"; per-evaluator bases must be substantially faster.
+	if imp := a.Improvement(); imp < 1.3 {
+		t.Errorf("unique-id preset improvement = %.2f, want >= 1.3 (chain serializes codegen)", imp)
+	}
+}
+
+func TestT9ParseShare(t *testing.T) {
+	r, err := experiments.T9ParseShare()
+	if err != nil {
+		t.Fatalf("T9: %v", err)
+	}
+	// Paper §1/§4.1: most time is in the semantic phase, not parsing;
+	// but parsing is not free (their parser took a noticeable fraction).
+	if r.Share <= 0.05 || r.Share >= 0.5 {
+		t.Errorf("parse share = %.2f, want in (0.05, 0.5)", r.Share)
+	}
+}
+
+func TestT10AssemblyVsMachineCode(t *testing.T) {
+	r, err := experiments.T10AssemblySize()
+	if err != nil {
+		t.Fatalf("T10: %v", err)
+	}
+	// Paper §4.1: "machine language is much more compact than assembly
+	// language".
+	if r.Ratio < 2.0 {
+		t.Errorf("assembly/machine ratio = %.2f, want >= 2 (assembly text much larger)", r.Ratio)
+	}
+	if r.MachineBytes <= 0 {
+		t.Error("machine code size not computed")
+	}
+}
+
+func TestT11ParallelMake(t *testing.T) {
+	r, err := experiments.T11ParallelMake()
+	if err != nil {
+		t.Fatalf("T11: %v", err)
+	}
+	// Parallel make helps but is capped by the largest compilation and
+	// the sequential link.
+	if r.Speedup < 1.5 {
+		t.Errorf("parallel make speedup = %.2f, want >= 1.5", r.Speedup)
+	}
+	if r.Speedup > 5.0 {
+		t.Errorf("parallel make speedup = %.2f, want <= 5 (size skew + sequential link)", r.Speedup)
+	}
+}
+
+func TestT3SequentialStaticBeatsDynamic(t *testing.T) {
+	r := fig5(t)
+	d, c := r.Dynamic[0], r.Combined[0]
+	if d.EvalTime <= c.EvalTime {
+		t.Errorf("sequential dynamic (%v) should be slower than static/combined (%v)", d.EvalTime, c.EvalTime)
+	}
+	// Dynamic evaluation also uses far more memory (the dependency
+	// graph); we assert via graph size counters.
+	if d.DynFrac != 1.0 {
+		t.Errorf("sequential dynamic fraction = %.2f, want 1.0", d.DynFrac)
+	}
+}
+
+func TestE1ExpensiveAttributesHypothesis(t *testing.T) {
+	// Paper §6: grammars whose attribute evaluation is expensive
+	// relative to communication "should derive most benefit from
+	// parallel evaluation" — speedup must grow monotonically with the
+	// evaluation/communication cost ratio.
+	pts, err := experiments.E1ExpensiveAttributes()
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup <= pts[i-1].Speedup {
+			t.Errorf("speedup not increasing with attribute cost: %.2f at %.2fx vs %.2f at %.2fx",
+				pts[i].Speedup, pts[i].Factor, pts[i-1].Speedup, pts[i-1].Factor)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Speedup < 4.3 {
+		t.Errorf("at %.0fx attribute cost, speedup = %.2f; want approaching 5 machines", last.Factor, last.Speedup)
+	}
+}
+
+func TestE2NetworkLatencyHypothesis(t *testing.T) {
+	// The flip side: expensive communication kills parallelism (the
+	// regime the paper assigns to Kaplan/Kaiser's design in §5).
+	pts, err := experiments.E2NetworkLatency()
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup > pts[i-1].Speedup+0.01 {
+			t.Errorf("speedup grew with latency: %.2f at %.1fx vs %.2f at %.1fx",
+				pts[i].Speedup, pts[i].Factor, pts[i-1].Speedup, pts[i-1].Factor)
+		}
+	}
+	if worst := pts[len(pts)-1]; worst.Speedup > 3.0 {
+		t.Errorf("at %.0fx latency, speedup still %.2f; expected substantial degradation", worst.Factor, worst.Speedup)
+	}
+}
+
+func TestE3GranularitySweep(t *testing.T) {
+	pts, err := experiments.E3GranularitySweep()
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	// Coarse granularity yields few fragments; finer granularity more,
+	// capped by the machine count.
+	if pts[0].Machines >= pts[len(pts)-1].Machines {
+		t.Errorf("fragment count did not grow with finer granularity: %d .. %d",
+			pts[0].Machines, pts[len(pts)-1].Machines)
+	}
+}

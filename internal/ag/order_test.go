@@ -1,0 +1,170 @@
+package ag
+
+import (
+	"fmt"
+	"testing"
+)
+
+// threePhaseGrammar needs three alternating visits on its worker
+// symbol: s1 depends on i1; i2 (at the parent) depends on s1; s2 on
+// i2; i3 on s2; s3 on i3.
+func threePhaseGrammar(t *testing.T) (*Grammar, *Symbol) {
+	t.Helper()
+	b := NewBuilder("three-phase")
+	leaf := b.Terminal("LEAF")
+	w := b.Nonterminal("w",
+		Syn("s1"), Syn("s2"), Syn("s3"),
+		Inh("i1"), Inh("i2"), Inh("i3"))
+	root := b.Nonterminal("root", Syn("out"))
+	b.Start(root)
+	inc := func(a []Value) Value { return a[0].(int) + 1 }
+	b.Production(root, []*Symbol{w},
+		Const("1.i1", 1),
+		Def("1.i2", inc, "1.s1"),
+		Def("1.i3", inc, "1.s2"),
+		Copy("out", "1.s3"),
+	)
+	b.Production(w, []*Symbol{leaf},
+		Def("s1", inc, "i1"),
+		Def("s2", inc, "i2"),
+		Def("s3", inc, "i3"),
+	)
+	b.Production(w, []*Symbol{w},
+		Copy("1.i1", "i1"),
+		Def("s1", inc, "1.s1"),
+		Copy("1.i2", "i2"),
+		Def("s2", inc, "1.s2"),
+		Copy("1.i3", "i3"),
+		Def("s3", inc, "1.s3"),
+	)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g, w
+}
+
+func TestThreePhasePartitioning(t *testing.T) {
+	g, w := threePhaseGrammar(t)
+	a, err := Analyze(g)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if v := a.NumVisits(w); v != 3 {
+		t.Fatalf("w visits = %d, want 3 (%+v)", v, a.Phases(w))
+	}
+	for i := 1; i <= 3; i++ {
+		inh := fmt.Sprintf("i%d", i)
+		syn := fmt.Sprintf("s%d", i)
+		if got := a.VisitOf(w, w.AttrIndex(inh)); got != i {
+			t.Errorf("%s in visit %d, want %d", inh, got, i)
+		}
+		if got := a.VisitOf(w, w.AttrIndex(syn)); got != i {
+			t.Errorf("%s in visit %d, want %d", syn, got, i)
+		}
+	}
+}
+
+func TestVisitSequencesRespectPhases(t *testing.T) {
+	// Property over all plans of the three-phase grammar: an OpEval of
+	// a defined occurrence must appear in a segment no later than the
+	// occurrence's phase, and OpVisit(c, v) ops appear in increasing v
+	// per child.
+	g, _ := threePhaseGrammar(t)
+	a, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.Prods {
+		plan := a.Plan(p)
+		lastVisit := map[int]int{}
+		for seg, ops := range plan.Segments {
+			for _, op := range ops {
+				switch op.Kind {
+				case OpEval:
+					if op.Occ == 0 {
+						// LHS synthesized: must be ready by the end of
+						// its own phase.
+						want := a.VisitOf(p.LHS, op.Attr)
+						if seg+1 > want {
+							t.Errorf("%s: eval of %s.%s in segment %d, phase %d",
+								p, p.LHS, p.LHS.Attrs[op.Attr].Name, seg+1, want)
+						}
+					}
+				case OpVisit:
+					if prev, ok := lastVisit[op.Child]; ok && op.Visit != prev+1 {
+						t.Errorf("%s: child %d visits out of order: %d after %d",
+							p, op.Child, op.Visit, prev)
+					}
+					lastVisit[op.Child] = op.Visit
+				}
+			}
+		}
+		// Every nonterminal child must be visited exactly NumVisits
+		// times in total.
+		for c := 1; c <= len(p.RHS); c++ {
+			if p.Sym(c).Terminal {
+				continue
+			}
+			if lastVisit[c] != a.NumVisits(p.Sym(c)) {
+				t.Errorf("%s: child %d visited %d times, want %d",
+					p, c, lastVisit[c], a.NumVisits(p.Sym(c)))
+			}
+		}
+	}
+}
+
+func TestAnalysisDeterministic(t *testing.T) {
+	// Two analyses of the same grammar must produce identical plans
+	// (the simulator's determinism depends on it).
+	g, _ := threePhaseGrammar(t)
+	a1, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.Prods {
+		s1 := fmt.Sprint(a1.Plan(p).Segments)
+		s2 := fmt.Sprint(a2.Plan(p).Segments)
+		if s1 != s2 {
+			t.Errorf("%s: plans differ:\n%s\n%s", p, s1, s2)
+		}
+	}
+}
+
+func TestPhasesAlternate(t *testing.T) {
+	// Structural invariant: within a symbol's phases, every attribute
+	// appears exactly once, inherited before synthesized per phase.
+	g, w := threePhaseGrammar(t)
+	a, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, ph := range a.Phases(w) {
+		for _, ai := range ph.Inh {
+			if w.Attrs[ai].Kind != Inherited {
+				t.Errorf("attr %s in Inh set but synthesized", w.Attrs[ai].Name)
+			}
+			if seen[ai] {
+				t.Errorf("attr %s in two phases", w.Attrs[ai].Name)
+			}
+			seen[ai] = true
+		}
+		for _, ai := range ph.Syn {
+			if w.Attrs[ai].Kind != Synthesized {
+				t.Errorf("attr %s in Syn set but inherited", w.Attrs[ai].Name)
+			}
+			if seen[ai] {
+				t.Errorf("attr %s in two phases", w.Attrs[ai].Name)
+			}
+			seen[ai] = true
+		}
+	}
+	if len(seen) != len(w.Attrs) {
+		t.Errorf("%d of %d attributes placed in phases", len(seen), len(w.Attrs))
+	}
+}

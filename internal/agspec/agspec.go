@@ -1,0 +1,448 @@
+// Package agspec implements the evaluator generator's input language:
+// the attribute-grammar specification format of the paper's appendix
+// ("The syntax used for the grammar below is exactly the one used by
+// our evaluator generator. The syntax is based on that of YACC.").
+//
+// A specification has a declaration section and, after %%, a list of
+// productions with semantic rules:
+//
+//	# terminals whose attribute is computed by the scanner
+//	%name IDENTIFIER NUMBER
+//	# tokens with no associated information
+//	%keyword LET IN NI '=' '+' '*' '(' ')'
+//	# nonterminals: attribute lists; split symbols carry a minimum
+//	# linearized subtree size in bytes
+//	%nosplit main_expr : syn value
+//	%nosplit expr : syn value, inh stab priority
+//	%split block 40 : syn value, inh stab
+//	%start main_expr printn
+//	%left '+'
+//	%left '*'
+//	%%
+//	main_expr : expr
+//	    $.value = $1.value ;
+//	    $1.stab = st_create() ;
+//
+//	expr : expr '+' expr
+//	    $.value = add($1.value, $3.value) ;
+//	    $1.stab = $.stab ;
+//	    $3.stab = $.stab ;
+//
+// Semantic functions (st_create, add, ...) are "written in a standard
+// programming language and trusted not to produce any visible side
+// effects" (appendix); they are supplied through a Library, as are the
+// conversion functions (codecs) for attributes of split symbols.
+package agspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pag/internal/ag"
+)
+
+// Library supplies the host-language hooks a specification refers to:
+// semantic functions by name, optional cost models, and conversion
+// functions for network-crossing attributes (by attribute name).
+type Library struct {
+	Funcs  map[string]func(args []ag.Value) ag.Value
+	Costs  map[string]ag.CostFn
+	Codecs map[string]ag.Codec
+}
+
+// Result is a parsed specification.
+type Result struct {
+	Grammar *ag.Grammar
+	// StartFn is the function named in the %start declaration, to be
+	// called with the root attribute values ("printn" in the appendix).
+	StartFn string
+	// Prec lists the %left/%right declarations in increasing
+	// precedence, for use by a parser generator.
+	Prec []PrecLevel
+}
+
+// PrecLevel is one associativity declaration.
+type PrecLevel struct {
+	Assoc  string // "left" or "right"
+	Tokens []string
+}
+
+// Parse compiles a specification text against a library.
+func Parse(src string, lib Library) (*Result, error) {
+	p := &specParser{
+		lib:   lib,
+		b:     ag.NewBuilder("agspec"),
+		syms:  map[string]*ag.Symbol{},
+		lines: strings.Split(src, "\n"),
+	}
+	if err := p.declarations(); err != nil {
+		return nil, err
+	}
+	if err := p.productions(); err != nil {
+		return nil, err
+	}
+	g, err := p.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Grammar: g, StartFn: p.startFn, Prec: p.prec}, nil
+}
+
+type specParser struct {
+	lib     Library
+	b       *ag.Builder
+	syms    map[string]*ag.Symbol
+	lines   []string
+	lineNo  int
+	startFn string
+	prec    []PrecLevel
+}
+
+func (p *specParser) errf(format string, args ...any) error {
+	return fmt.Errorf("agspec: line %d: %s", p.lineNo+1, fmt.Sprintf(format, args...))
+}
+
+// next returns the next non-blank, non-comment line, or false at EOF.
+func (p *specParser) next() (string, bool) {
+	for p.lineNo < len(p.lines) {
+		line := p.lines[p.lineNo]
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			p.lineNo++
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+// declarations parses the section before %%.
+func (p *specParser) declarations() error {
+	for {
+		line, ok := p.next()
+		if !ok {
+			return p.errf("missing %%%% separator")
+		}
+		p.lineNo++
+		if line == "%%" {
+			return nil
+		}
+		fields := tokenizeDecl(line)
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "%") {
+			return p.errf("expected a %%-declaration, got %q", line)
+		}
+		switch fields[0] {
+		case "%name":
+			for _, name := range fields[1:] {
+				if err := p.declareSymbol(name); err != nil {
+					return err
+				}
+				p.syms[name] = p.b.Terminal(name, ag.Syn("string"))
+			}
+		case "%keyword":
+			for _, name := range fields[1:] {
+				if err := p.declareSymbol(name); err != nil {
+					return err
+				}
+				p.syms[name] = p.b.Terminal(name)
+			}
+		case "%nosplit", "%split":
+			if err := p.nonterminal(fields); err != nil {
+				return err
+			}
+		case "%start":
+			if len(fields) < 2 {
+				return p.errf("%%start needs a symbol")
+			}
+			sym, ok := p.syms[fields[1]]
+			if !ok {
+				return p.errf("%%start: unknown symbol %q", fields[1])
+			}
+			p.b.Start(sym)
+			if len(fields) > 2 {
+				p.startFn = fields[2]
+			}
+		case "%left", "%right":
+			p.prec = append(p.prec, PrecLevel{Assoc: fields[0][1:], Tokens: fields[1:]})
+		default:
+			return p.errf("unknown declaration %s", fields[0])
+		}
+	}
+}
+
+func (p *specParser) declareSymbol(name string) error {
+	if _, dup := p.syms[name]; dup {
+		return p.errf("symbol %q declared twice", name)
+	}
+	return nil
+}
+
+// nonterminal parses "%nosplit name : attrs" or "%split name N : attrs"
+// where attrs is "syn a, inh b priority, ...".
+func (p *specParser) nonterminal(fields []string) error {
+	split := fields[0] == "%split"
+	rest := fields[1:]
+	if len(rest) == 0 {
+		return p.errf("%s needs a symbol name", fields[0])
+	}
+	name := rest[0]
+	rest = rest[1:]
+	minSize := 0
+	if split {
+		if len(rest) == 0 {
+			return p.errf("%%split %s needs a minimum subtree size", name)
+		}
+		n, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return p.errf("%%split %s: bad size %q", name, rest[0])
+		}
+		minSize = n
+		rest = rest[1:]
+	}
+	if len(rest) == 0 || rest[0] != ":" {
+		return p.errf("%s %s: expected ':' before attributes", fields[0], name)
+	}
+	rest = rest[1:]
+	var specs []ag.AttrSpec
+	for _, group := range splitList(strings.Join(rest, " "), ',') {
+		words := strings.Fields(group)
+		if len(words) < 2 {
+			return p.errf("%s: attribute needs kind and name, got %q", name, group)
+		}
+		var spec ag.AttrSpec
+		switch words[0] {
+		case "syn":
+			spec = ag.Syn(words[1])
+		case "inh":
+			spec = ag.Inh(words[1])
+		default:
+			return p.errf("%s: attribute kind must be syn or inh, got %q", name, words[0])
+		}
+		for _, mod := range words[2:] {
+			if mod != "priority" {
+				return p.errf("%s.%s: unknown modifier %q", name, words[1], mod)
+			}
+			spec = spec.WithPriority()
+		}
+		if c, ok := p.lib.Codecs[words[1]]; ok {
+			spec = spec.WithCodec(c)
+		} else if split {
+			return p.errf("%s.%s: split symbol attribute needs a conversion function in the library", name, words[1])
+		}
+		specs = append(specs, spec)
+	}
+	if err := p.declareSymbol(name); err != nil {
+		return err
+	}
+	if split {
+		p.syms[name] = p.b.SplitNonterminal(name, minSize, specs...)
+	} else {
+		p.syms[name] = p.b.Nonterminal(name, specs...)
+	}
+	return nil
+}
+
+// productions parses the section after %%: each production is a header
+// line "lhs : rhs..." followed by rule lines "target = expr ;".
+func (p *specParser) productions() error {
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil
+		}
+		p.lineNo++
+		lhsName, rhsNames, err := p.header(line)
+		if err != nil {
+			return err
+		}
+		lhs, ok := p.syms[lhsName]
+		if !ok {
+			return p.errf("unknown symbol %q", lhsName)
+		}
+		var rhs []*ag.Symbol
+		for _, rn := range rhsNames {
+			s, ok := p.syms[rn]
+			if !ok {
+				return p.errf("unknown symbol %q on right-hand side", rn)
+			}
+			rhs = append(rhs, s)
+		}
+		var rules []ag.RuleSpec
+		for {
+			ruleLine, ok := p.next()
+			if !ok {
+				break
+			}
+			if !strings.Contains(ruleLine, "=") || !strings.HasPrefix(ruleLine, "$") {
+				break // next production header
+			}
+			p.lineNo++
+			rule, err := p.rule(ruleLine)
+			if err != nil {
+				return err
+			}
+			rules = append(rules, rule)
+		}
+		p.b.Production(lhs, rhs, rules...)
+	}
+}
+
+// header parses "lhs : sym sym ..." (an empty right side is allowed).
+func (p *specParser) header(line string) (string, []string, error) {
+	colon := strings.Index(line, ":")
+	if colon < 0 {
+		return "", nil, p.errf("expected a production header 'lhs : rhs', got %q", line)
+	}
+	lhs := strings.TrimSpace(line[:colon])
+	if lhs == "" {
+		return "", nil, p.errf("production header missing left-hand side")
+	}
+	return lhs, strings.Fields(line[colon+1:]), nil
+}
+
+// rule parses "$k.attr = expr ;" where expr is a reference, an integer
+// literal, or fn(arg, ...).
+func (p *specParser) rule(line string) (ag.RuleSpec, error) {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return ag.RuleSpec{}, p.errf("rule needs '=': %q", line)
+	}
+	target, err := normalizeRef(strings.TrimSpace(line[:eq]))
+	if err != nil {
+		return ag.RuleSpec{}, p.errf("%v", err)
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+
+	// Plain copy: "$.a = $1.b"
+	if strings.HasPrefix(rhs, "$") && !strings.Contains(rhs, "(") {
+		dep, err := normalizeRef(rhs)
+		if err != nil {
+			return ag.RuleSpec{}, p.errf("%v", err)
+		}
+		return ag.Copy(target, dep), nil
+	}
+	// Integer constant: "$.a = 42"
+	if n, err := strconv.Atoi(rhs); err == nil {
+		return ag.Const(target, n), nil
+	}
+	// Function application: "fn(arg, ...)".
+	open := strings.Index(rhs, "(")
+	if open < 0 || !strings.HasSuffix(rhs, ")") {
+		return ag.RuleSpec{}, p.errf("rule right-hand side must be a reference, integer, or call: %q", rhs)
+	}
+	fnName := strings.TrimSpace(rhs[:open])
+	fn, ok := p.lib.Funcs[fnName]
+	if !ok {
+		return ag.RuleSpec{}, p.errf("unknown semantic function %q", fnName)
+	}
+	argsText := strings.TrimSpace(rhs[open+1 : len(rhs)-1])
+
+	// Each argument is either an attribute reference (becomes a
+	// dependency) or an integer literal (bound directly).
+	type argSlot struct {
+		depIndex int // >= 0: take from dependency values
+		literal  ag.Value
+	}
+	var slots []argSlot
+	var deps []string
+	if argsText != "" {
+		for _, a := range splitList(argsText, ',') {
+			a = strings.TrimSpace(a)
+			if strings.HasPrefix(a, "$") {
+				ref, err := normalizeRef(a)
+				if err != nil {
+					return ag.RuleSpec{}, p.errf("%v", err)
+				}
+				slots = append(slots, argSlot{depIndex: len(deps)})
+				deps = append(deps, ref)
+				continue
+			}
+			if n, err := strconv.Atoi(a); err == nil {
+				slots = append(slots, argSlot{depIndex: -1, literal: n})
+				continue
+			}
+			if len(a) >= 2 && a[0] == '\'' && a[len(a)-1] == '\'' {
+				slots = append(slots, argSlot{depIndex: -1, literal: a[1 : len(a)-1]})
+				continue
+			}
+			return ag.RuleSpec{}, p.errf("bad argument %q (reference, integer or 'string')", a)
+		}
+	}
+	eval := func(depVals []ag.Value) ag.Value {
+		call := make([]ag.Value, len(slots))
+		for i, s := range slots {
+			if s.depIndex >= 0 {
+				call[i] = depVals[s.depIndex]
+			} else {
+				call[i] = s.literal
+			}
+		}
+		return fn(call)
+	}
+	rule := ag.Def(target, eval, deps...)
+	if cost, ok := p.lib.Costs[fnName]; ok {
+		rule = rule.WithCost(cost)
+	}
+	return rule, nil
+}
+
+// normalizeRef converts the spec notation ($.attr, $3.attr) into the
+// builder notation ($.attr, 3.attr).
+func normalizeRef(ref string) (string, error) {
+	if !strings.HasPrefix(ref, "$") {
+		return "", fmt.Errorf("attribute reference must start with $: %q", ref)
+	}
+	body := ref[1:]
+	if strings.HasPrefix(body, ".") {
+		return "$" + body, nil // $.attr → LHS
+	}
+	dot := strings.Index(body, ".")
+	if dot <= 0 {
+		return "", fmt.Errorf("bad attribute reference %q", ref)
+	}
+	if _, err := strconv.Atoi(body[:dot]); err != nil {
+		return "", fmt.Errorf("bad occurrence in %q", ref)
+	}
+	return body, nil
+}
+
+// tokenizeDecl splits a declaration line into fields, keeping quoted
+// tokens like '+' intact and separating a ':' glued to a name
+// ("expr:" becomes "expr", ":").
+func tokenizeDecl(line string) []string {
+	var out []string
+	for _, f := range strings.Fields(line) {
+		if f != ":" && strings.HasSuffix(f, ":") {
+			out = append(out, strings.TrimSuffix(f, ":"), ":")
+		} else {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// splitList splits on sep at depth zero (outside parentheses).
+func splitList(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

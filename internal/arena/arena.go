@@ -1,0 +1,40 @@
+// Package arena provides the paper's storage-allocation discipline
+// (§4.3): "storage allocation is extremely fast throughout since we
+// make no provision for reusing memory". An Arena hands out values from
+// large slabs with a bump pointer and never frees individual objects;
+// everything is reclaimed at once when the arena is dropped.
+package arena
+
+// slabSize is the number of objects allocated per slab.
+const slabSize = 1024
+
+// Arena is a bump allocator for values of type T. The zero value is
+// ready to use. Arena is not safe for concurrent use; in the parallel
+// compiler each evaluator machine owns its own arenas.
+type Arena[T any] struct {
+	slab  []T
+	used  int
+	total int
+}
+
+// New returns a pointer to a zeroed T with arena lifetime.
+func (a *Arena[T]) New() *T {
+	if a.used == len(a.slab) {
+		a.slab = make([]T, slabSize)
+		a.used = 0
+	}
+	p := &a.slab[a.used]
+	a.used++
+	a.total++
+	return p
+}
+
+// Allocated returns the number of objects handed out.
+func (a *Arena[T]) Allocated() int { return a.total }
+
+// Reset drops all slabs, releasing every allocation at once.
+func (a *Arena[T]) Reset() {
+	a.slab = nil
+	a.used = 0
+	a.total = 0
+}

@@ -1,0 +1,59 @@
+package arena_test
+
+import (
+	"testing"
+
+	"pag/internal/arena"
+)
+
+type item struct {
+	id   int
+	next *item
+}
+
+func TestArenaAllocates(t *testing.T) {
+	var a arena.Arena[item]
+	ptrs := make([]*item, 5000)
+	for i := range ptrs {
+		p := a.New()
+		p.id = i
+		ptrs[i] = p
+	}
+	if a.Allocated() != 5000 {
+		t.Errorf("Allocated = %d", a.Allocated())
+	}
+	// No reuse: every pointer distinct and values intact.
+	seen := map[*item]bool{}
+	for i, p := range ptrs {
+		if p.id != i {
+			t.Fatalf("ptrs[%d].id = %d (clobbered)", i, p.id)
+		}
+		if seen[p] {
+			t.Fatalf("pointer reused at %d", i)
+		}
+		seen[p] = true
+	}
+}
+
+func TestArenaZeroes(t *testing.T) {
+	var a arena.Arena[item]
+	p := a.New()
+	if p.id != 0 || p.next != nil {
+		t.Error("New returned non-zero value")
+	}
+}
+
+func TestArenaReset(t *testing.T) {
+	var a arena.Arena[item]
+	for i := 0; i < 100; i++ {
+		a.New()
+	}
+	a.Reset()
+	if a.Allocated() != 0 {
+		t.Errorf("Allocated after Reset = %d", a.Allocated())
+	}
+	p := a.New()
+	if p == nil || a.Allocated() != 1 {
+		t.Error("arena unusable after Reset")
+	}
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"pag/internal/ag"
+	"pag/internal/eval"
+	"pag/internal/netsim"
+	"pag/internal/rope"
+	"pag/internal/tree"
+)
+
+// fragmentEvaluator is the common surface of eval.Dynamic and
+// eval.Combined used by the evaluator process.
+type fragmentEvaluator interface {
+	Supply(n *tree.Node, attr int, v ag.Value)
+	Done() bool
+	Blocked() []string
+	Stats() eval.Stats
+}
+
+type dynAdapter struct{ *eval.Dynamic }
+
+func (d dynAdapter) run() { d.Dynamic.Run() }
+
+type combAdapter struct{ *eval.Combined }
+
+func (c combAdapter) run() { c.Combined.Run() }
+
+type runnable interface {
+	fragmentEvaluator
+	run()
+}
+
+// evaluator is the body of evaluator machine idx: it receives its
+// fragment, reconstructs the subtree, evaluates attributes (statically
+// off the spine in combined mode), exchanges attribute values with the
+// evaluators of neighbouring fragments, and reports its results.
+func (c *run) evaluator(p *netsim.Proc, idx int) {
+	m, ok := p.Recv()
+	if !ok {
+		return
+	}
+	sub, okType := m.Payload.(subtreeMsg)
+	if !okType {
+		c.fail(fmt.Errorf("cluster: evaluator %d expected subtree, got %T", idx, m.Payload))
+		return
+	}
+	p.Compute(costMsgHandle)
+
+	// Reconstruct the subtree from its linearized form (§2.4).
+	root, err := tree.Decode(c.job.G, sub.data, c.job.Lex)
+	if err != nil {
+		c.fail(fmt.Errorf("cluster: evaluator %d decoding subtree: %w", idx, err))
+		return
+	}
+	p.Compute(time.Duration(root.Count())*costPerNodeDecode +
+		time.Duration(len(sub.data))*costPerByteCodec)
+
+	// Map remote leaves back to fragment ids for message routing; the
+	// slice preserves tree order for deterministic scheduling.
+	leaves := map[int]*tree.Node{}
+	var leafList []*tree.Node
+	root.Walk(func(n *tree.Node) {
+		if n.Remote {
+			leaves[n.RemoteID] = n
+			leafList = append(leafList, n)
+		}
+	})
+
+	nextHandle := int32(idx) << 20
+	store := func(text string) int32 {
+		nextHandle++
+		h := nextHandle
+		c.send(p, c.librarian, "store", storeMsg{handle: h, text: text}, len(text)+attrMsgHeader)
+		return h
+	}
+
+	// encodeAttr converts an outgoing attribute value, depositing code
+	// text at the librarian when the codec supports it.
+	encodeAttr := func(sym *ag.Symbol, attr int, v ag.Value) ([]byte, bool) {
+		codec := sym.Attrs[attr].Codec
+		if ship, ok := codec.(rope.ShipCodec); ok && c.useLib {
+			data, err := ship.EncodeShip(store, v)
+			if err != nil {
+				c.fail(fmt.Errorf("cluster: encoding %s.%s: %w", sym.Name, sym.Attrs[attr].Name, err))
+				return nil, false
+			}
+			return data, true
+		}
+		data, err := codec.Encode(v)
+		if err != nil {
+			c.fail(fmt.Errorf("cluster: encoding %s.%s: %w", sym.Name, sym.Attrs[attr].Name, err))
+			return nil, false
+		}
+		return data, false
+	}
+	decodeAttr := func(sym *ag.Symbol, attr int, data []byte) (ag.Value, error) {
+		codec := sym.Attrs[attr].Codec
+		if ship, ok := codec.(rope.ShipCodec); ok && c.useLib {
+			return ship.DecodeShip(data)
+		}
+		return codec.Decode(data)
+	}
+
+	hooks := eval.Hooks{
+		Charge:     p.Compute,
+		NoPriority: c.opts.NoPriority,
+		OnRemoteInh: func(leaf *tree.Node, attr int, v ag.Value) {
+			if c.uidBase[AttrKey{Sym: leaf.Sym, Attr: attr}] && c.opts.UIDPreset {
+				// The child derives unique identifiers from its own
+				// base value; no need to propagate the chain (§4.3).
+				return
+			}
+			data, _ := encodeAttr(leaf.Sym, attr, v)
+			p.Compute(time.Duration(len(data)) * costPerByteCodec)
+			c.send(p, c.evals[leaf.RemoteID], "attr",
+				attrMsg{frag: leaf.RemoteID, attr: attr, data: data},
+				len(data)+attrMsgHeader)
+			if leaf.Sym.Attrs[attr].Priority {
+				p.Mark("sent " + leaf.Sym.Attrs[attr].Name)
+			}
+		},
+		OnRootSyn: func(attr int, v ag.Value) {
+			if c.uidCount[AttrKey{Sym: root.Sym, Attr: attr}] && c.opts.UIDPreset && idx != 0 {
+				// The parent pre-supplied our identifier count as zero;
+				// our identifiers come from the per-fragment base.
+				return
+			}
+			if idx == 0 {
+				// Root fragment: results go back to the parser.
+				data, ship := encodeAttr(root.Sym, attr, v)
+				p.Compute(time.Duration(len(data)) * costPerByteCodec)
+				c.send(p, c.parser, "rootattr",
+					rootAttrMsg{attr: attr, data: data, ship: ship}, len(data)+attrMsgHeader)
+				return
+			}
+			data, _ := encodeAttr(root.Sym, attr, v)
+			p.Compute(time.Duration(len(data)) * costPerByteCodec)
+			c.send(p, c.evals[c.decomp.Frags[idx].Parent], "attr",
+				attrMsg{frag: idx, up: true, attr: attr, data: data},
+				len(data)+attrMsgHeader)
+		},
+	}
+
+	var ev runnable
+	switch c.opts.Mode {
+	case Dynamic:
+		ev = dynAdapter{eval.NewDynamic(c.job.G, root, hooks)}
+	default:
+		ev = combAdapter{eval.NewCombined(c.job.A, root, hooks)}
+	}
+	p.Mark("ready")
+
+	// Per-evaluator unique-identifier bases (§4.3): the fragment root's
+	// base attribute comes from the parser's per-fragment value, and
+	// remote children's count attributes are treated as zero so no
+	// evaluator ever waits on the identifier chain.
+	if c.opts.UIDPreset {
+		for _, k := range c.job.UIDs {
+			if k.Sym == root.Sym && idx != 0 {
+				ev.Supply(root, k.Base, sub.uidBase)
+			}
+			for _, leaf := range leafList {
+				if k.Sym == leaf.Sym {
+					ev.Supply(leaf, k.Count, 0)
+				}
+			}
+		}
+	}
+
+	ev.run()
+	for !ev.Done() {
+		m, ok := p.Recv()
+		if !ok {
+			return
+		}
+		am, okType := m.Payload.(attrMsg)
+		if !okType {
+			c.fail(fmt.Errorf("cluster: evaluator %d expected attr, got %T", idx, m.Payload))
+			return
+		}
+		p.Compute(costMsgHandle + time.Duration(len(am.data))*costPerByteCodec)
+		var target *tree.Node
+		if am.up {
+			target = leaves[am.frag]
+			if target == nil {
+				c.fail(fmt.Errorf("cluster: evaluator %d has no remote leaf for fragment %d", idx, am.frag))
+				return
+			}
+		} else {
+			target = root
+		}
+		v, err := decodeAttr(target.Sym, am.attr, am.data)
+		if err != nil {
+			c.fail(fmt.Errorf("cluster: evaluator %d decoding attr: %w", idx, err))
+			return
+		}
+		if target == root && target.Sym.Attrs[am.attr].Priority {
+			p.Mark("got " + target.Sym.Attrs[am.attr].Name)
+		}
+		ev.Supply(target, am.attr, v)
+		ev.run()
+	}
+	p.Mark("done")
+	c.send(p, c.parser, "done", evaluatorDone{frag: idx, stats: ev.Stats()}, 32)
+}

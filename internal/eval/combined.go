@@ -1,0 +1,316 @@
+package eval
+
+import (
+	"fmt"
+
+	"pag/internal/ag"
+	"pag/internal/tree"
+)
+
+// staticChild drives static evaluation of one subtree hanging off the
+// dynamic spine: static visit v may run once all inherited attributes
+// of the subtree root's phases 1..v have been computed dynamically.
+// Running visit v makes the phase-v synthesized attributes available to
+// the dynamic graph — this encodes exactly the transitive dependencies
+// "precomputed by the static evaluator generator" that paper §2.4 says
+// are entered into the dynamic dependency graph.
+type staticChild struct {
+	node       *tree.Node
+	nextVisit  int   // next visit to run, 1-based
+	pendingInh []int // per phase: inherited attrs not yet available
+}
+
+// Combined is the paper's combined static/dynamic evaluator (§2.4,
+// Figure 4): nodes on a path from the fragment root to a remote leaf
+// (the spine) are evaluated dynamically; every subtree hanging off the
+// spine — in particular every bottom fragment — is evaluated by the
+// static ordered evaluator, with no dependency analysis at all.
+type Combined struct {
+	a     *ag.Analysis
+	root  *tree.Node
+	hooks Hooks
+	st    *Static
+
+	// rootStatic is non-nil when the fragment has no remote leaves:
+	// the entire fragment is one static subtree driven by the arrival
+	// of the root's inherited phases.
+	rootStatic *staticChild
+
+	insts     map[inst]*instInfo
+	order     []inst
+	children  map[*tree.Node]*staticChild
+	ready     []inst
+	readyPrio []inst
+	stats     Stats
+	defined   int
+	evaluated int
+}
+
+// NewCombined builds a combined evaluator for the fragment rooted at
+// root. Dynamic dependency information is computed only for spine
+// nodes, which the paper's measurements show is a small fraction of the
+// tree ("less than N percent of the attributes are evaluated
+// dynamically", §4.1).
+func NewCombined(a *ag.Analysis, root *tree.Node, hooks Hooks) *Combined {
+	c := &Combined{
+		a:        a,
+		root:     root,
+		hooks:    hooks,
+		insts:    make(map[inst]*instInfo),
+		children: make(map[*tree.Node]*staticChild),
+	}
+	c.st = NewStatic(a, Hooks{Charge: hooks.Charge})
+
+	spine := tree.Spine(root)
+	if len(spine) == 0 {
+		// Entirely local fragment: pure static evaluation, gated on the
+		// root's inherited phases ("all bottom subtrees are evaluated
+		// entirely statically", §4.1).
+		c.rootStatic = c.newStaticChild(root)
+		return c
+	}
+	// Dynamic instances for the rules of every spine node. Children of
+	// spine nodes that are off-spine nonterminals become static
+	// subtrees; their synthesized attributes are produced by visits.
+	var build func(n *tree.Node)
+	build = func(n *tree.Node) {
+		if !spine[n] {
+			return
+		}
+		c.addNodeRules(n)
+		for _, ch := range n.Children {
+			switch {
+			case ch.Remote, ch.Sym.Terminal:
+			case spine[ch]:
+				build(ch)
+			default:
+				c.children[ch] = c.newStaticChild(ch)
+			}
+		}
+	}
+	build(root)
+	for _, key := range c.order {
+		if info := c.insts[key]; info.remaining == 0 {
+			c.push(key)
+		}
+	}
+	return c
+}
+
+func (c *Combined) newStaticChild(n *tree.Node) *staticChild {
+	phases := c.a.Phases(n.Sym)
+	sc := &staticChild{node: n, nextVisit: 1, pendingInh: make([]int, len(phases))}
+	for v, ph := range phases {
+		sc.pendingInh[v] = len(ph.Inh)
+	}
+	return sc
+}
+
+func (c *Combined) info(i inst) *instInfo {
+	if in, ok := c.insts[i]; ok {
+		return in
+	}
+	in := &instInfo{}
+	c.insts[i] = in
+	c.stats.GraphNodes++
+	c.hooks.charge(CostGraphNode)
+	return in
+}
+
+func (c *Combined) addNodeRules(n *tree.Node) {
+	p := n.Prod
+	for ri := range p.Rules {
+		r := &p.Rules[ri]
+		t := resolve(n, r.Target)
+		ti := c.info(t)
+		ti.rule = r
+		ti.home = n
+		c.defined++
+		c.order = append(c.order, t)
+		for _, dep := range r.Deps {
+			di := resolve(n, dep)
+			if di.n.Sym.Terminal {
+				continue // scanner-supplied, always available
+			}
+			dinfo := c.info(di)
+			dinfo.dependents = append(dinfo.dependents, t)
+			ti.remaining++
+			c.stats.GraphEdges++
+			c.hooks.charge(CostGraphEdge)
+		}
+	}
+}
+
+func (c *Combined) push(i inst) {
+	if i.n.Sym.Attrs[i.a].Priority && !c.hooks.NoPriority {
+		c.readyPrio = append(c.readyPrio, i)
+	} else {
+		c.ready = append(c.ready, i)
+	}
+}
+
+func (c *Combined) pop() (inst, bool) {
+	if len(c.readyPrio) > 0 {
+		i := c.readyPrio[0]
+		c.readyPrio = c.readyPrio[1:]
+		return i, true
+	}
+	if len(c.ready) > 0 {
+		i := c.ready[0]
+		c.ready = c.ready[1:]
+		return i, true
+	}
+	return inst{}, false
+}
+
+// Run evaluates everything that is ready: dynamic spine instances in
+// topological order, and static visits as their input phases complete.
+func (c *Combined) Run() {
+	if c.rootStatic != nil {
+		c.runStaticChild(c.rootStatic, true)
+		return
+	}
+	c.drainStaticChildren()
+	for {
+		i, ok := c.pop()
+		if !ok {
+			return
+		}
+		c.evaluate(i)
+	}
+}
+
+// drainStaticChildren starts visits on static children whose first
+// phases need no inherited attributes.
+func (c *Combined) drainStaticChildren() {
+	// Children are discovered via spine rules; iterate in tree order
+	// for determinism.
+	c.root.Walk(func(n *tree.Node) {
+		if sc, ok := c.children[n]; ok {
+			c.runStaticChild(sc, false)
+		}
+	})
+}
+
+func (c *Combined) evaluate(i inst) {
+	info := c.insts[i]
+	args := make([]ag.Value, len(info.rule.Deps))
+	for k, dep := range info.rule.Deps {
+		args[k] = resolve(info.home, dep).value()
+	}
+	v := info.rule.Eval(args)
+	i.n.Attrs[i.a] = v
+	c.hooks.charge(info.rule.SimCost(args) + CostSchedule)
+	c.stats.DynamicEvals++
+	c.evaluated++
+	c.markAvail(i, info, v)
+}
+
+func (c *Combined) markAvail(i inst, info *instInfo, v ag.Value) {
+	info.avail = true
+	attr := i.n.Sym.Attrs[i.a]
+	if i.n.Remote && attr.Kind == ag.Inherited && c.hooks.OnRemoteInh != nil {
+		c.hooks.OnRemoteInh(i.n, i.a, v)
+	}
+	if i.n == c.root && attr.Kind == ag.Synthesized && c.hooks.OnRootSyn != nil {
+		c.hooks.OnRootSyn(i.a, v)
+	}
+	// An inherited attribute of a static child may enable its next
+	// static visit.
+	if sc, ok := c.children[i.n]; ok && attr.Kind == ag.Inherited {
+		ph := c.a.VisitOf(i.n.Sym, i.a)
+		sc.pendingInh[ph-1]--
+		c.runStaticChild(sc, false)
+	}
+	for _, dep := range info.dependents {
+		dinfo := c.insts[dep]
+		dinfo.remaining--
+		if dinfo.remaining == 0 && dinfo.rule != nil {
+			c.push(dep)
+		}
+	}
+}
+
+// runStaticChild runs every static visit whose inherited phase is
+// complete, making the corresponding synthesized phases available to
+// the dynamic graph (or, for a fully static fragment root, to the
+// parent evaluator via OnRootSyn).
+func (c *Combined) runStaticChild(sc *staticChild, isRoot bool) {
+	phases := c.a.Phases(sc.node.Sym)
+	for sc.nextVisit <= len(phases) && sc.pendingInh[sc.nextVisit-1] == 0 {
+		v := sc.nextVisit
+		sc.nextVisit++
+		c.st.Visit(sc.node, v)
+		for _, ai := range phases[v-1].Syn {
+			val := sc.node.Attrs[ai]
+			if isRoot {
+				if c.hooks.OnRootSyn != nil {
+					c.hooks.OnRootSyn(ai, val)
+				}
+				continue
+			}
+			i := inst{sc.node, ai}
+			if info, ok := c.insts[i]; ok && !info.avail {
+				c.markAvail(i, info, val)
+			}
+		}
+	}
+}
+
+// Supply injects a remotely computed attribute value: a synthesized
+// attribute of a remote leaf or an inherited attribute of the fragment
+// root.
+func (c *Combined) Supply(n *tree.Node, attr int, v ag.Value) {
+	n.Attrs[attr] = v
+	c.stats.Supplied++
+	c.hooks.charge(CostSupply)
+	if c.rootStatic != nil {
+		if n != c.root {
+			panic(fmt.Sprintf("eval: Supply(%s) to fully static fragment rooted at %s", n.Sym, c.root.Sym))
+		}
+		ph := c.a.VisitOf(n.Sym, attr)
+		c.rootStatic.pendingInh[ph-1]--
+		return
+	}
+	i := inst{n, attr}
+	info, ok := c.insts[i]
+	if !ok || info.avail {
+		return
+	}
+	c.markAvail(i, info, v)
+}
+
+// Done reports whether all local attribute instances are evaluated.
+func (c *Combined) Done() bool {
+	if c.rootStatic != nil {
+		return c.rootStatic.nextVisit > len(c.a.Phases(c.root.Sym))
+	}
+	if c.evaluated != c.defined {
+		return false
+	}
+	for _, sc := range c.children {
+		if sc.nextVisit <= len(c.a.Phases(sc.node.Sym)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Blocked lists blocked dynamic instances for deadlock diagnostics.
+func (c *Combined) Blocked() []string {
+	var out []string
+	for _, key := range c.order {
+		if info := c.insts[key]; !info.avail {
+			out = append(out, fmt.Sprintf("%s (missing %d)", key, info.remaining))
+		}
+	}
+	return out
+}
+
+// Stats returns evaluation statistics, merging the static visits run on
+// off-spine subtrees with the dynamic spine evaluation.
+func (c *Combined) Stats() Stats {
+	s := c.stats
+	s.Add(c.st.Stats())
+	return s
+}

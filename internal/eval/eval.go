@@ -1,0 +1,112 @@
+// Package eval implements the three attribute evaluation strategies of
+// the paper: the dynamic evaluator (dependency graph + topological
+// worklist, Figure 1), the static ordered evaluator (precomputed visit
+// sequences, Figures 2–3), and the combined static/dynamic evaluator
+// that is the paper's contribution (Figure 4).
+//
+// Evaluators operate on one tree fragment. Attribute values crossing
+// machine boundaries enter through Supply and leave through the Hooks
+// callbacks; the cluster package wires these to the network.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"pag/internal/ag"
+	"pag/internal/tree"
+)
+
+// Simulated CPU costs of the evaluator machinery itself, calibrated for
+// the ~1 MIPS machines of the paper's testbed. The asymmetry between
+// graph costs (paid only by dynamic evaluation) and the static-op cost
+// is exactly the paper's "sequential efficiency of static evaluators".
+const (
+	// CostGraphNode: allocate and initialize one dependency-graph node
+	// during dynamic dependency analysis.
+	CostGraphNode = 40 * time.Microsecond
+	// CostGraphEdge: record one dependency edge.
+	CostGraphEdge = 15 * time.Microsecond
+	// CostSchedule: topological-sort bookkeeping per evaluated instance.
+	CostSchedule = 12 * time.Microsecond
+	// CostStaticOp: visit-procedure dispatch per plan operation.
+	CostStaticOp = 8 * time.Microsecond
+	// CostVisit: procedure-call overhead per child visit.
+	CostVisit = 12 * time.Microsecond
+	// CostSupply: handling one remotely supplied attribute value.
+	CostSupply = 10 * time.Microsecond
+)
+
+// Hooks connects an evaluator to its environment.
+type Hooks struct {
+	// Charge accounts simulated CPU time; nil ignores costs.
+	Charge func(d time.Duration)
+	// OnRemoteInh fires when an inherited attribute of a remote leaf
+	// has been computed locally and must be shipped to the evaluator
+	// that owns the corresponding subtree.
+	OnRemoteInh func(leaf *tree.Node, attr int, v ag.Value)
+	// OnRootSyn fires when a synthesized attribute of the fragment root
+	// has been computed and must be shipped to the parent evaluator (or
+	// the parser, for the root fragment).
+	OnRootSyn func(attr int, v ag.Value)
+	// NoPriority disables the priority-attribute fast path (paper §4.3)
+	// for ablation experiments: priority attributes queue like any
+	// other ready attribute.
+	NoPriority bool
+}
+
+func (h *Hooks) charge(d time.Duration) {
+	if h.Charge != nil {
+		h.Charge(d)
+	}
+}
+
+// Stats summarizes one evaluator run. DynamicEvals+StaticEvals is the
+// number of attribute instances this evaluator computed; the paper's
+// §4.1 observation is that the combined evaluator keeps
+// DynamicEvals/(DynamicEvals+StaticEvals) very small.
+type Stats struct {
+	DynamicEvals int // instances evaluated via the dependency graph
+	StaticEvals  int // instances evaluated by static visit procedures
+	GraphNodes   int // dependency-graph nodes built
+	GraphEdges   int // dependency-graph edges built
+	Supplied     int // attribute values received from other evaluators
+}
+
+// DynamicFraction returns the share of attribute instances evaluated
+// dynamically.
+func (s Stats) DynamicFraction() float64 {
+	total := s.DynamicEvals + s.StaticEvals
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DynamicEvals) / float64(total)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.DynamicEvals += other.DynamicEvals
+	s.StaticEvals += other.StaticEvals
+	s.GraphNodes += other.GraphNodes
+	s.GraphEdges += other.GraphEdges
+	s.Supplied += other.Supplied
+}
+
+// inst identifies one attribute instance: attribute a of tree node n.
+type inst struct {
+	n *tree.Node
+	a int
+}
+
+func (i inst) String() string {
+	return fmt.Sprintf("%s.%s", i.n.Sym.Name, i.n.Sym.Attrs[i.a].Name)
+}
+
+// resolve maps an attribute reference of the production at home to the
+// tree node carrying the instance.
+func resolve(home *tree.Node, r ag.AttrRef) inst {
+	if r.Occ == 0 {
+		return inst{home, r.Attr}
+	}
+	return inst{home.Children[r.Occ-1], r.Attr}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pag/internal/cluster"
+)
+
+// This file implements the extension experiments suggested by the
+// paper's §6 ("Conclusion and Avenues for Further Work") and related
+// sensitivity questions that the simulator makes cheap to answer.
+
+// SweepPoint is one point of a sensitivity sweep.
+type SweepPoint struct {
+	Factor   float64 // the swept parameter's multiplier
+	Seq      time.Duration
+	Par      time.Duration // at 5 machines, combined evaluator
+	Speedup  float64
+	Machines int
+}
+
+// E1ExpensiveAttributes sweeps the cost of attribute evaluation
+// relative to communication (via the simulated CPU scale) and reports
+// the 5-machine speedup at each point. The paper's §6 hypothesis: "We
+// are particularly interested in grammars in which the evaluation of
+// individual attributes is very expensive relative to the cost of
+// communicating attribute values between machines, such as the proof
+// checker ... Such grammars should derive most benefit from parallel
+// evaluation." The sweep confirms it: as evaluation grows more
+// expensive, the speedup climbs toward the machine count.
+func E1ExpensiveAttributes() ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, scale := range []float64{0.25, 1, 4, 16} {
+		opts := DefaultOptions()
+		opts.Hardware.CPUScale = scale
+		seq, err := RunPoint(cluster.Combined, 1, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E1 scale %.2f seq: %w", scale, err)
+		}
+		par, err := RunPoint(cluster.Combined, 5, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E1 scale %.2f par: %w", scale, err)
+		}
+		out = append(out, SweepPoint{
+			Factor:   scale,
+			Seq:      seq.EvalTime,
+			Par:      par.EvalTime,
+			Speedup:  float64(seq.EvalTime) / float64(par.EvalTime),
+			Machines: 5,
+		})
+	}
+	return out, nil
+}
+
+// E2NetworkLatency sweeps the per-message latency and reports the
+// 5-machine speedup: the flip side of E1 — as communication grows more
+// expensive relative to evaluation, parallelism stops paying. This is
+// the regime the paper assigns to Kaplan and Kaiser's proposal
+// ("more appropriate in an environment where communication is very
+// cheap", §5).
+func E2NetworkLatency() ([]SweepPoint, error) {
+	base := DefaultOptions().Hardware.MsgLatency
+	var out []SweepPoint
+	for _, factor := range []float64{0.1, 1, 10, 100} {
+		opts := DefaultOptions()
+		opts.Hardware.MsgLatency = time.Duration(float64(base) * factor)
+		seq, err := RunPoint(cluster.Combined, 1, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 factor %.1f seq: %w", factor, err)
+		}
+		par, err := RunPoint(cluster.Combined, 5, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 factor %.1f par: %w", factor, err)
+		}
+		out = append(out, SweepPoint{
+			Factor:   factor,
+			Seq:      seq.EvalTime,
+			Par:      par.EvalTime,
+			Speedup:  float64(seq.EvalTime) / float64(par.EvalTime),
+			Machines: 5,
+		})
+	}
+	return out, nil
+}
+
+// E3GranularitySweep varies the split granularity at a fixed machine
+// count — the experiment §2.5's runtime scaling argument was built for
+// ("to allow for easy experimentation with decompositions with
+// different granularities").
+func E3GranularitySweep() ([]SweepPoint, error) {
+	job, err := Job()
+	if err != nil {
+		return nil, err
+	}
+	total := job.Root.Size()
+	var out []SweepPoint
+	for _, div := range []int{2, 5, 10, 20} {
+		opts := DefaultOptions()
+		opts.Machines = 5
+		opts.Mode = cluster.Combined
+		opts.Granularity = total / div
+		res, err := cluster.Run(job, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E3 granularity /%d: %w", div, err)
+		}
+		out = append(out, SweepPoint{
+			Factor:   float64(div),
+			Par:      res.EvalTime,
+			Machines: res.Frags,
+		})
+	}
+	return out, nil
+}
+
+// RenderSweep formats a sweep as a small table.
+func RenderSweep(title, factorName string, pts []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-10s %10s %10s %9s\n", title, factorName, "sequential", "parallel", "speedup")
+	for _, p := range pts {
+		if p.Seq > 0 {
+			fmt.Fprintf(&b, "%-10.2f %9.2fs %9.2fs %8.2fx\n",
+				p.Factor, p.Seq.Seconds(), p.Par.Seconds(), p.Speedup)
+		} else {
+			fmt.Fprintf(&b, "%-10.2f %10s %9.2fs   (frags=%d)\n",
+				p.Factor, "-", p.Par.Seconds(), p.Machines)
+		}
+	}
+	return b.String()
+}

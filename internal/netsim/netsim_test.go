@@ -1,0 +1,258 @@
+package netsim_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pag/internal/netsim"
+)
+
+func fastNet() netsim.Config {
+	return netsim.Config{
+		MsgLatency:           time.Millisecond,
+		BandwidthBytesPerSec: 1e6,
+		SharedBus:            true,
+		CPUScale:             1,
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	sim := netsim.New(fastNet())
+	var now time.Duration
+	sim.Spawn("worker", func(p *netsim.Proc) {
+		p.Compute(50 * time.Millisecond)
+		p.Compute(25 * time.Millisecond)
+		now = p.Now()
+	})
+	end, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != 75*time.Millisecond {
+		t.Errorf("local clock = %v, want 75ms", now)
+	}
+	if end != 75*time.Millisecond {
+		t.Errorf("sim end = %v, want 75ms", end)
+	}
+}
+
+func TestMessageLatencyAndTransfer(t *testing.T) {
+	sim := netsim.New(fastNet())
+	var arrived time.Duration
+	var recv *netsim.Proc
+	recv = sim.Spawn("recv", func(p *netsim.Proc) {
+		m, ok := p.Recv()
+		if !ok {
+			return
+		}
+		arrived = m.Arrived
+	})
+	sim.Spawn("send", func(p *netsim.Proc) {
+		p.Compute(10 * time.Millisecond)
+		p.Send(recv, "data", nil, 5000) // 5ms at 1 MB/s
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 10*time.Millisecond + 5*time.Millisecond + time.Millisecond
+	if arrived != want {
+		t.Errorf("arrival = %v, want %v (compute + transfer + latency)", arrived, want)
+	}
+}
+
+func TestSharedBusSerializesTransfers(t *testing.T) {
+	// Two senders transmit 10 ms worth of data each at the same time;
+	// with a shared bus the second arrival is pushed back.
+	run := func(shared bool) time.Duration {
+		cfg := fastNet()
+		cfg.SharedBus = shared
+		sim := netsim.New(cfg)
+		var last time.Duration
+		recv := sim.Spawn("recv", func(p *netsim.Proc) {
+			for i := 0; i < 2; i++ {
+				m, ok := p.Recv()
+				if !ok {
+					return
+				}
+				if m.Arrived > last {
+					last = m.Arrived
+				}
+			}
+		})
+		for i := 0; i < 2; i++ {
+			sim.Spawn("send", func(p *netsim.Proc) {
+				p.Send(recv, "data", nil, 10000)
+			})
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	shared := run(true)
+	private := run(false)
+	if shared <= private {
+		t.Errorf("shared bus last arrival %v not later than private %v", shared, private)
+	}
+}
+
+func TestCausalOrdering(t *testing.T) {
+	// A message sent earlier (in virtual time) must be received before
+	// one sent later, across different senders.
+	sim := netsim.New(fastNet())
+	var order []string
+	var recv *netsim.Proc
+	recv = sim.Spawn("recv", func(p *netsim.Proc) {
+		for i := 0; i < 2; i++ {
+			m, ok := p.Recv()
+			if !ok {
+				return
+			}
+			order = append(order, m.Kind)
+		}
+	})
+	sim.Spawn("late", func(p *netsim.Proc) {
+		p.Compute(100 * time.Millisecond)
+		p.Send(recv, "late", nil, 1)
+	})
+	sim.Spawn("early", func(p *netsim.Proc) {
+		p.Compute(5 * time.Millisecond)
+		p.Send(recv, "early", nil, 1)
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Errorf("delivery order = %v, want [early late]", order)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		sim := netsim.New(fastNet())
+		procs := make([]*netsim.Proc, 4)
+		for i := range procs {
+			i := i
+			procs[i] = sim.Spawn("p", func(p *netsim.Proc) {
+				if i == 0 {
+					for j := 1; j < 4; j++ {
+						p.Compute(time.Duration(j) * time.Millisecond)
+						p.Send(procs[j], "go", j, 100)
+					}
+					for j := 1; j < 4; j++ {
+						if _, ok := p.Recv(); !ok {
+							return
+						}
+					}
+					return
+				}
+				m, ok := p.Recv()
+				if !ok {
+					return
+				}
+				p.Compute(time.Duration(m.Payload.(int)) * 7 * time.Millisecond)
+				p.Send(procs[0], "done", nil, 10)
+			})
+		}
+		end, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("nondeterministic simulation: %v vs %v", a, b)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	sim := netsim.New(fastNet())
+	sim.Spawn("waiter", func(p *netsim.Proc) {
+		if _, ok := p.Recv(); ok {
+			t.Error("received a message that was never sent")
+		}
+	})
+	_, err := sim.Run()
+	if !errors.Is(err, netsim.ErrDeadlock) {
+		t.Errorf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestTraceRecordsSpansAndArrows(t *testing.T) {
+	sim := netsim.New(fastNet())
+	var recv *netsim.Proc
+	recv = sim.Spawn("b", func(p *netsim.Proc) {
+		if _, ok := p.Recv(); !ok {
+			return
+		}
+		p.Compute(2 * time.Millisecond)
+	})
+	sim.Spawn("a", func(p *netsim.Proc) {
+		p.Compute(3 * time.Millisecond)
+		p.Mark("sending")
+		p.Send(recv, "m", nil, 10)
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := sim.Trace()
+	if tr.BusyTime("a") != 3*time.Millisecond {
+		t.Errorf("a busy = %v", tr.BusyTime("a"))
+	}
+	if tr.BusyTime("b") != 2*time.Millisecond {
+		t.Errorf("b busy = %v", tr.BusyTime("b"))
+	}
+	if len(tr.Arrows) != 1 {
+		t.Errorf("arrows = %d, want 1", len(tr.Arrows))
+	}
+	if tr.MarkTime("sending") != 3*time.Millisecond {
+		t.Errorf("mark at %v", tr.MarkTime("sending"))
+	}
+}
+
+func TestCPUScale(t *testing.T) {
+	cfg := fastNet()
+	cfg.CPUScale = 2
+	sim := netsim.New(cfg)
+	var now time.Duration
+	sim.Spawn("w", func(p *netsim.Proc) {
+		p.Compute(10 * time.Millisecond)
+		now = p.Now()
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if now != 20*time.Millisecond {
+		t.Errorf("scaled compute = %v, want 20ms", now)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	sim := netsim.New(fastNet())
+	var recv *netsim.Proc
+	got := 0
+	recv = sim.Spawn("r", func(p *netsim.Proc) {
+		if _, ok := p.TryRecv(); ok {
+			t.Error("TryRecv returned a message before any was sent")
+		}
+		m, ok := p.Recv() // blocks until arrival
+		if !ok {
+			return
+		}
+		got = m.Payload.(int)
+		if _, ok := p.TryRecv(); ok {
+			t.Error("TryRecv returned a second message")
+		}
+	})
+	sim.Spawn("s", func(p *netsim.Proc) {
+		p.Send(recv, "x", 41, 1)
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 41 {
+		t.Errorf("payload = %d", got)
+	}
+}

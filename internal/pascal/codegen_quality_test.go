@@ -1,0 +1,163 @@
+package pascal_test
+
+// Code-quality assertions: the operand-folding and peephole layers
+// must produce the compact sequences a credible 1987 compiler would
+// (paper §3: "overall code quality is at least comparable to that
+// produced by the Berkeley UNIX Pascal compiler").
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/pascal"
+	"pag/internal/vax"
+	"pag/internal/workload"
+)
+
+// compileBody compiles a one-procedure program and returns the body
+// between the main label and ret.
+func compileBody(t *testing.T, l *pascal.Lang, body string) string {
+	t.Helper()
+	src := "program q;\nvar x, y, z: integer; f: boolean;\nbegin\n" + body + "\nend.\n"
+	code, errs := compile(t, l, src)
+	if len(errs) > 0 {
+		t.Fatalf("semantic errors: %v", errs)
+	}
+	start := strings.Index(code, "_main:")
+	end := strings.Index(code[start:], "\tret\n")
+	return code[start : start+end]
+}
+
+func TestFoldedAssignment(t *testing.T) {
+	l := pascal.MustNew()
+	// A constant store to a local must be a single instruction.
+	body := compileBody(t, l, "x := 5")
+	if n := vax.CountInstructions(body) - 2; n != 1 { // minus subl2+clrl prologue
+		t.Errorf("x := 5 compiled to %d instructions, want 1:\n%s", n, body)
+	}
+	if !strings.Contains(body, "movl $5, -8(fp)") {
+		t.Errorf("missing folded store:\n%s", body)
+	}
+}
+
+func TestFoldedBinaryOperands(t *testing.T) {
+	l := pascal.MustNew()
+	// x := y + 1: load, fold the literal, fold the store — 3 instrs.
+	body := compileBody(t, l, "x := y + 1")
+	if strings.Contains(body, "pushl r0") {
+		t.Errorf("stack round trip for a foldable expression:\n%s", body)
+	}
+	if !strings.Contains(body, "addl2 $1, r0") {
+		t.Errorf("literal operand not folded:\n%s", body)
+	}
+}
+
+func TestFoldedComparison(t *testing.T) {
+	l := pascal.MustNew()
+	body := compileBody(t, l, "f := x < 3")
+	if !strings.Contains(body, "cmpl r0, $3") {
+		t.Errorf("comparison literal not folded:\n%s", body)
+	}
+}
+
+func TestFoldedCallArguments(t *testing.T) {
+	l := pascal.MustNew()
+	src := `
+program q;
+var a: integer;
+procedure p(u, v: integer); begin end;
+begin
+  a := 4;
+  p(a, 9)
+end.
+`
+	code, errs := compile(t, l, src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	// Both arguments push directly, without evaluation into r0.
+	if !strings.Contains(code, "pushl $9") {
+		t.Errorf("literal argument not folded:\n%s", code)
+	}
+	if !strings.Contains(code, "pushl -8(fp)") {
+		t.Errorf("variable argument not folded:\n%s", code)
+	}
+}
+
+func TestUplevelAccessNotFolded(t *testing.T) {
+	// Non-local variables need the static-link chase and must not be
+	// folded into direct operands.
+	l := pascal.MustNew()
+	src := `
+program q;
+var g: integer;
+procedure p;
+begin
+  g := g + 1
+end;
+begin
+  g := 0; p
+end.
+`
+	code, errs := compile(t, l, src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	procPart := code[strings.Index(code, "main_p:"):]
+	if !strings.Contains(procPart, "movl -4(fp), r0") {
+		t.Errorf("uplevel access missing static-link chase:\n%s", procPart)
+	}
+}
+
+func TestByRefParamUsesDeferredOperand(t *testing.T) {
+	l := pascal.MustNew()
+	src := `
+program q;
+var a: integer;
+procedure bump(var x: integer);
+begin
+  x := x + 2
+end;
+begin
+  a := 1; bump(a)
+end.
+`
+	code, errs := compile(t, l, src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	// The var parameter's slot holds an address; access goes through
+	// the displacement-deferred mode.
+	if !strings.Contains(code, "*-8(fp)") {
+		t.Errorf("var parameter not accessed via deferred operand:\n%s", code)
+	}
+}
+
+func TestGeneratedCodeDensity(t *testing.T) {
+	// The whole course program should average a handful of instructions
+	// per source line — far from the unoptimized stack-machine blowup.
+	l := pascal.MustNew()
+	code, errs := compile(t, l, srcCourse(t))
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	instrs := vax.CountInstructions(code)
+	lines := strings.Count(srcCourse(t), "\n")
+	ratio := float64(instrs) / float64(lines)
+	if ratio > 8 {
+		t.Errorf("%.1f instructions per source line; code generator too verbose", ratio)
+	}
+	if ratio < 1 {
+		t.Errorf("%.1f instructions per source line; suspiciously dense", ratio)
+	}
+}
+
+var courseSrc string
+
+func srcCourse(t *testing.T) string {
+	t.Helper()
+	if courseSrc == "" {
+		courseSrc = workload.Generate(workload.CourseCompiler())
+	}
+	return courseSrc
+}

@@ -1,0 +1,402 @@
+package pascal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"pag/internal/ag"
+	"pag/internal/rope"
+	"pag/internal/vax"
+)
+
+// This file holds the value helpers and code generation routines the
+// semantic rules are written with. All of them are pure functions of
+// their inputs, as the attribute grammar formalism requires.
+
+// ---- attribute value accessors (defensive against nil) -------------
+
+func asCode(v ag.Value) rope.Code {
+	if v == nil {
+		return nil
+	}
+	return v.(rope.Code)
+}
+
+func asErrs(v ag.Value) []string {
+	if v == nil {
+		return nil
+	}
+	return v.([]string)
+}
+
+func asInt(v ag.Value) int    { return v.(int) }
+func asStr(v ag.Value) string { return v.(string) }
+func asEnv(v ag.Value) *Env   { return v.(*Env) }
+func asType(v ag.Value) Type  { return v.(Type) }
+func asBool(v ag.Value) bool  { return v.(bool) }
+func asArgs(v ag.Value) []ArgInfo {
+	if v == nil {
+		return nil
+	}
+	return v.([]ArgInfo)
+}
+
+func asSigs(v ag.Value) []*DeclSig {
+	if v == nil {
+		return nil
+	}
+	return v.([]*DeclSig)
+}
+
+func asParams(v ag.Value) []Param {
+	if v == nil {
+		return nil
+	}
+	return v.([]Param)
+}
+
+func asNames(v ag.Value) []string {
+	if v == nil {
+		return nil
+	}
+	return v.([]string)
+}
+
+func asFields(v ag.Value) []Field {
+	if v == nil {
+		return nil
+	}
+	return v.([]Field)
+}
+
+func asNums(v ag.Value) []int {
+	if v == nil {
+		return nil
+	}
+	return v.([]int)
+}
+
+// catErrs merges error lists without mutating the inputs.
+func catErrs(lists ...[]string) []string {
+	var out []string
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+func errf(format string, args ...any) []string {
+	return []string{fmt.Sprintf(format, args...)}
+}
+
+// ---- simulated rule costs ------------------------------------------
+
+func micros(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+
+func costConst(n int) ag.CostFn {
+	d := micros(n)
+	return func([]ag.Value) time.Duration { return d }
+}
+
+var (
+	costCopy  = costConst(4)
+	costTiny  = costConst(15)
+	costSmall = costConst(50)
+	costGen   = costConst(170) // typical code-emitting rule
+	costBig   = costConst(340) // multi-instruction emitters
+)
+
+// costLookup models an O(depth) symbol-table search; the environment is
+// the rule's first dependency.
+func costLookup(args []ag.Value) time.Duration {
+	if env, ok := args[0].(*Env); ok {
+		return micros(25 + 8*env.Depth())
+	}
+	return micros(30)
+}
+
+// ---- labels ---------------------------------------------------------
+
+// lbl renders unique label n; string-literal labels use the same space.
+func lbl(n int) string { return "L" + strconv.Itoa(n) }
+
+func strLbl(n int) string { return "S" + strconv.Itoa(n) }
+
+// ---- scope construction ---------------------------------------------
+
+// ScopeVal is the value of block.scope: the inner environment plus any
+// declaration errors discovered while building it.
+type ScopeVal struct {
+	Env  *Env
+	Errs []string
+}
+
+// buildScope extends the outer environment with the block's constant,
+// variable and procedure declarations, assigning frame offsets to
+// variables and code labels to procedures. Duplicate names at the same
+// level are reported.
+func buildScope(outer *Env, label string, sigGroups ...[]*DeclSig) ScopeVal {
+	env := outer
+	var errs []string
+	seen := map[string]bool{}
+	nextFree := outer.NextFree
+	for _, sigs := range sigGroups {
+		for _, s := range sigs {
+			if seen[s.Name] {
+				errs = append(errs, fmt.Sprintf("duplicate declaration of %q", s.Name))
+				continue
+			}
+			seen[s.Name] = true
+			ent := &Entry{Name: s.Name, Kind: s.Kind, Type: s.Type, Level: env.Level, Value: s.Value}
+			switch s.Kind {
+			case VarEntry:
+				sz := s.Type.Size()
+				nextFree += sz
+				ent.Offset = -nextFree
+			case ProcEntry, FuncEntry:
+				ent.Label = label + "_" + s.Name
+				ent.Params = s.Params
+			}
+			env = env.Bind(ent)
+		}
+	}
+	inner := &Env{tab: env.tab, Level: env.Level, NextFree: nextFree}
+	return ScopeVal{Env: inner, Errs: errs}
+}
+
+// procScope builds the environment for a procedure or function body:
+// one level deeper, with the formals bound to local slots (the
+// prologue copies arguments there so that uplevel addressing is
+// uniformly fp-relative through static links). Functions additionally
+// reserve the result slot at -8(fp).
+func procScope(outer *Env, params []Param, isFunc bool) ScopeVal {
+	env := outer.Enter()
+	var errs []string
+	nextFree := 4 // -4(fp): static link
+	if isFunc {
+		nextFree = 8 // -8(fp): function result
+	}
+	seen := map[string]bool{}
+	for _, p := range params {
+		if seen[p.Name] {
+			errs = append(errs, fmt.Sprintf("duplicate parameter %q", p.Name))
+			continue
+		}
+		seen[p.Name] = true
+		nextFree += 4 // parameter slots are one longword (scalar or address)
+		env = env.Bind(&Entry{
+			Name: p.Name, Kind: VarEntry, Type: p.Type,
+			Level: env.Level, Offset: -nextFree, ByRef: p.ByRef,
+		})
+	}
+	inner := &Env{tab: env.tab, Level: env.Level, NextFree: nextFree}
+	return ScopeVal{Env: inner, Errs: errs}
+}
+
+// prologue emits a procedure's entry sequence: frame allocation, static
+// link capture, and parameter spill to the local slots assigned by
+// procScope (argument i+1 lives at 4(i+2)(ap); the slot base depends on
+// whether a function-result slot is reserved).
+func prologue(label string, frameSize int, params []Param, isFunc bool) rope.Code {
+	code := rope.Textf("\n%s:\n\t.word 0\n\tsubl2 $%d, sp\n\tmovl 4(ap), -4(fp)\n", label, frameSize)
+	base := 4
+	if isFunc {
+		base = 8
+	}
+	for i := range params {
+		code = rope.CatCode(code,
+			rope.Textf("\tmovl %d(ap), %d(fp)\n", 4*(i+2), -(base+4*(i+1))))
+	}
+	return code
+}
+
+// ---- variable addressing --------------------------------------------
+
+// chaseCode emits the static-link chase that leaves the frame pointer
+// of the frame at the entry's level in r0 (k = levels up, k >= 1).
+func chaseCode(k int) rope.Code {
+	c := rope.Text("\tmovl -4(fp), r0\n")
+	for i := 1; i < k; i++ {
+		c = rope.CatCode(c, rope.Text("\tmovl -4(r0), r0\n"))
+	}
+	return c
+}
+
+// addrCode emits code leaving the address of the entry's storage in r0.
+func addrCode(env *Env, ent *Entry) rope.Code {
+	k := env.Level - ent.Level
+	if k == 0 {
+		if ent.ByRef {
+			return rope.Textf("\tmovl %d(fp), r0\n", ent.Offset)
+		}
+		return rope.Textf("\tmoval %d(fp), r0\n", ent.Offset)
+	}
+	c := chaseCode(k)
+	if ent.ByRef {
+		return rope.CatCode(c, rope.Textf("\tmovl %d(r0), r0\n", ent.Offset))
+	}
+	return rope.CatCode(c, rope.Textf("\tmoval %d(r0), r0\n", ent.Offset))
+}
+
+// ---- binary operators -------------------------------------------------
+
+// genBin emits code for `x op y` with operand folding: when either side
+// is a direct VAX operand the stack round trip disappears. x's code
+// leaves x in r0; likewise y.
+func genBin(op string, xCode, yCode rope.Code, xOp, yOp string) rope.Code {
+	op2 := map[string]string{
+		"add": "addl2", "sub": "subl2", "mul": "mull2", "div": "divl2", "or": "bisl2",
+	}[op]
+	switch {
+	case yOp != "":
+		switch op {
+		case "and":
+			return rope.CatCode(xCode, rope.Textf("\tmcoml %s, r1\n\tbicl2 r1, r0\n", yOp))
+		case "mod":
+			return rope.CatCode(xCode, rope.Textf("\tdivl3 %s, r0, r2\n\tmull2 %s, r2\n\tsubl2 r2, r0\n", yOp, yOp))
+		default:
+			return rope.CatCode(xCode, rope.Textf("\t%s %s, r0\n", op2, yOp))
+		}
+	case xOp != "":
+		switch op {
+		case "add", "mul", "or":
+			return rope.CatCode(yCode, rope.Textf("\t%s %s, r0\n", op2, xOp))
+		case "and":
+			return rope.CatCode(yCode, rope.Textf("\tmcoml r0, r1\n\tbicl3 r1, %s, r0\n", xOp))
+		case "sub":
+			return rope.CatCode(yCode, rope.Textf("\tsubl3 r0, %s, r0\n", xOp))
+		case "div":
+			return rope.CatCode(yCode, rope.Textf("\tdivl3 r0, %s, r0\n", xOp))
+		case "mod":
+			return rope.CatCode(yCode,
+				rope.Textf("\tdivl3 r0, %s, r2\n\tmull2 r0, r2\n\tsubl3 r2, %s, r0\n", xOp, xOp))
+		}
+	}
+	var tail string
+	switch op {
+	case "and":
+		tail = "\tmcoml r1, r1\n\tbicl2 r1, r0\n"
+	case "mod":
+		tail = "\tdivl3 r1, r0, r2\n\tmull2 r1, r2\n\tsubl2 r2, r0\n"
+	default:
+		tail = "\t" + op2 + " r1, r0\n"
+	}
+	return rope.CatCode(
+		xCode, rope.Text("\tpushl r0\n"),
+		yCode, rope.Text("\tmovl r0, r1\n\tmovl (sp)+, r0\n"),
+		rope.Text(tail),
+	)
+}
+
+// memOperand reports whether o is a plain memory operand (assignable,
+// addressable with pushal).
+func memOperand(o string) bool {
+	return o != "" && o[0] != '$' && o[0] != '*'
+}
+
+// ---- calls ------------------------------------------------------------
+
+// genCall emits a call to ent with the given actuals and reports any
+// argument errors. The result (for functions) is left in r0.
+func genCall(env *Env, ent *Entry, args []ArgInfo) (rope.Code, []string) {
+	var errs []string
+	if len(args) != len(ent.Params) {
+		errs = append(errs, fmt.Sprintf("%s %q expects %d argument(s), got %d",
+			ent.Kind, ent.Name, len(ent.Params), len(args)))
+	}
+	var code rope.Code
+	// Arguments are pushed right to left; the static link goes last so
+	// it lands at 4(ap).
+	for i := len(args) - 1; i >= 0; i-- {
+		if i < len(ent.Params) {
+			f := ent.Params[i]
+			if f.ByRef {
+				if args[i].ACode == nil {
+					errs = append(errs, fmt.Sprintf("argument %d of %q must be a variable (var parameter)", i+1, ent.Name))
+					code = rope.CatCode(code, rope.Text("\tclrl r0\n\tpushl r0\n"))
+					continue
+				}
+				if !f.Type.Equal(args[i].Ty) {
+					errs = append(errs, fmt.Sprintf("argument %d of %q: expected %s, got %s", i+1, ent.Name, f.Type, args[i].Ty))
+				}
+				code = rope.CatCode(code, args[i].ACode, rope.Text("\tpushl r0\n"))
+				continue
+			}
+			if !isScalar(f.Type) {
+				errs = append(errs, fmt.Sprintf("argument %d of %q: aggregates must be passed by var", i+1, ent.Name))
+			}
+			if !f.Type.Equal(args[i].Ty) {
+				errs = append(errs, fmt.Sprintf("argument %d of %q: expected %s, got %s", i+1, ent.Name, f.Type, args[i].Ty))
+			}
+		}
+		if args[i].Opnd != "" {
+			code = rope.CatCode(code, rope.Textf("\tpushl %s\n", args[i].Opnd))
+			continue
+		}
+		code = rope.CatCode(code, args[i].Code, rope.Text("\tpushl r0\n"))
+	}
+	k := env.Level - ent.Level
+	if k == 0 {
+		code = rope.CatCode(code, rope.Text("\tpushl fp\n"))
+	} else {
+		code = rope.CatCode(code, chaseCode(k), rope.Text("\tpushl r0\n"))
+	}
+	code = rope.CatCode(code, rope.Textf("\tcalls $%d, %s\n", len(args)+1, ent.Label))
+	return code, errs
+}
+
+func isScalar(t Type) bool {
+	_, ok := t.(*Basic)
+	return ok
+}
+
+// ---- peephole ---------------------------------------------------------
+
+// peep applies the local optimizer to a code value when it consists
+// purely of local text (it always does below statement level, because
+// expressions are never split across machines).
+func peep(c rope.Code) rope.Code {
+	if c == nil {
+		return nil
+	}
+	pure := true
+	rope.WalkCode(c, func(string) {}, func(int32, int) { pure = false })
+	if !pure {
+		return c
+	}
+	text := rope.FlattenCode(c, nil)
+	opt, _ := vax.Peephole(text)
+	return rope.Leaf(opt)
+}
+
+// costPeep models flatten+scan cost proportional to the code length.
+func costPeep(args []ag.Value) time.Duration {
+	n := 0
+	for _, a := range args {
+		if c, ok := a.(rope.Code); ok && c != nil {
+			n += c.CodeLen()
+		}
+	}
+	return micros(60 + n/6)
+}
+
+// escapeStr renders a Pascal string literal as an .asciz operand.
+func escapeStr(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString("\\n")
+		case '\t':
+			b.WriteString("\\t")
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

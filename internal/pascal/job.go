@@ -1,0 +1,36 @@
+package pascal
+
+import (
+	"pag/internal/cluster"
+)
+
+// ClusterJob parses src and assembles the cluster job for it: grammar,
+// analysis, tree, terminal-attribute function, parse-cost estimate and
+// the unique-identifier attribute pairs of every split symbol.
+func (l *Lang) ClusterJob(src string) (cluster.Job, error) {
+	root, err := l.Parse(src)
+	if err != nil {
+		return cluster.Job{}, err
+	}
+	job := cluster.Job{
+		G:         l.G,
+		A:         l.A,
+		Root:      root,
+		Lex:       l.TerminalAttrs,
+		ParseCost: ParseCost(src),
+	}
+	for _, k := range l.uidPairs() {
+		job.UIDs = append(job.UIDs, k)
+	}
+	return job, nil
+}
+
+// uidPairs lists the (lbase, lused) pair of every split symbol.
+func (l *Lang) uidPairs() []cluster.UIDPair {
+	return []cluster.UIDPair{
+		{Sym: l.Stmt, Base: SAttrLbase, Count: SAttrLused},
+		{Sym: l.StmtList, Base: SAttrLbase, Count: SAttrLused},
+		{Sym: l.ProcDecl, Base: PAttrLbase, Count: PAttrLused},
+		{Sym: l.ProcPart, Base: PAttrLbase, Count: PAttrLused},
+	}
+}

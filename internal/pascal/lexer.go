@@ -1,0 +1,241 @@
+package pascal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates Pascal tokens.
+type tokKind int
+
+// Token kinds.
+const (
+	tEOF tokKind = iota + 1
+	tIdent
+	tNumber
+	tString // 'text' literal (length != 1)
+	tChar   // 'c' literal
+	// punctuation
+	tPlus
+	tMinus
+	tStar
+	tSlash // unused by grammar (div is the keyword) but lexed
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tAssign
+	tLParen
+	tRParen
+	tLBrack
+	tRBrack
+	tComma
+	tSemi
+	tColon
+	tDot
+	tDotDot
+	// keywords
+	tProgram
+	tVar
+	tConst
+	tProcedure
+	tFunction
+	tBegin
+	tEnd
+	tIf
+	tThen
+	tElse
+	tWhile
+	tDo
+	tRepeat
+	tUntil
+	tFor
+	tTo
+	tDownto
+	tCase
+	tOf
+	tArray
+	tRecord
+	tDiv
+	tMod
+	tAnd
+	tOr
+	tNot
+	tTrue
+	tFalse
+	tWrite
+	tWriteln
+	tRead
+	tReadln
+)
+
+var keywords = map[string]tokKind{
+	"program": tProgram, "var": tVar, "const": tConst,
+	"procedure": tProcedure, "function": tFunction,
+	"begin": tBegin, "end": tEnd,
+	"if": tIf, "then": tThen, "else": tElse,
+	"while": tWhile, "do": tDo,
+	"repeat": tRepeat, "until": tUntil,
+	"for": tFor, "to": tTo, "downto": tDownto,
+	"case": tCase, "of": tOf,
+	"array": tArray, "record": tRecord,
+	"div": tDiv, "mod": tMod,
+	"and": tAnd, "or": tOr, "not": tNot,
+	"true": tTrue, "false": tFalse,
+	"write": tWrite, "writeln": tWriteln,
+	"read": tRead, "readln": tReadln,
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexError is a scanning failure.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("pascal: line %d: %s", e.line, e.msg) }
+
+// lex scans Pascal source (case-insensitive keywords and identifiers,
+// { } and (* *) comments, '...' string/char literals).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokKind, text string) { toks = append(toks, token{kind: k, text: text, line: line}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '{': // comment
+			for i < len(src) && src[i] != '}' {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i == len(src) {
+				return nil, &lexError{line, "unterminated { comment"}
+			}
+			i++
+		case c == '(' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == ')') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, &lexError{line, "unterminated (* comment"}
+			}
+			i += 2
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			emit(tNumber, src[start:i])
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			word := strings.ToLower(src[start:i])
+			if k, ok := keywords[word]; ok {
+				emit(k, word)
+			} else {
+				emit(tIdent, word)
+			}
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(src) || src[i] == '\n' {
+					return nil, &lexError{line, "unterminated string literal"}
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			s := sb.String()
+			if len(s) == 1 {
+				emit(tChar, s)
+			} else {
+				emit(tString, s)
+			}
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == ":=":
+				emit(tAssign, two)
+				i += 2
+			case two == "<=":
+				emit(tLe, two)
+				i += 2
+			case two == ">=":
+				emit(tGe, two)
+				i += 2
+			case two == "<>":
+				emit(tNe, two)
+				i += 2
+			case two == "..":
+				emit(tDotDot, two)
+				i += 2
+			default:
+				k, ok := singleTok[c]
+				if !ok {
+					return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+				}
+				emit(k, string(c))
+				i++
+			}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: line})
+	return toks, nil
+}
+
+var singleTok = map[byte]tokKind{
+	'+': tPlus, '-': tMinus, '*': tStar, '/': tSlash,
+	'=': tEq, '<': tLt, '>': tGt,
+	'(': tLParen, ')': tRParen, '[': tLBrack, ']': tRBrack,
+	',': tComma, ';': tSemi, ':': tColon, '.': tDot,
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

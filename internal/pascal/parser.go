@@ -1,0 +1,896 @@
+package pascal
+
+import (
+	"fmt"
+	"time"
+
+	"pag/internal/tree"
+)
+
+// parser is a recursive-descent parser producing attributed parse trees
+// over the Pascal attribute grammar. It reports syntax errors with line
+// numbers; semantic errors are attribute values computed later by the
+// evaluators.
+type parser struct {
+	l    *Lang
+	toks []token
+	pos  int
+}
+
+// Parse parses Pascal source into a tree rooted at the program symbol.
+func (l *Lang) Parse(src string) (*tree.Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{l: l, toks: toks}
+	root, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, p.errf("trailing input after program: %s", p.cur())
+	}
+	return root, nil
+}
+
+// ParseCost estimates the simulated parsing time for a source text:
+// the paper's parser needed a few seconds for a ~2000-line program on a
+// SUN-2, i.e. roughly a millisecond per line.
+func ParseCost(src string) time.Duration {
+	lines := 1
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			lines++
+		}
+	}
+	return time.Duration(lines) * 900 * time.Microsecond
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if p.cur().kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.errf("expected %s, got %s", what, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("pascal: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) id(sym string) (*tree.Node, error) {
+	t, err := p.expect(tIdent, sym)
+	if err != nil {
+		return nil, err
+	}
+	return tree.NewTerminal(p.l.TID, t.text, t.text), nil
+}
+
+// program = "program" ID ";" block "."
+func (p *parser) program() (*tree.Node, error) {
+	if _, err := p.expect(tProgram, `"program"`); err != nil {
+		return nil, err
+	}
+	name, err := p.id("program name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tSemi, `";"`); err != nil {
+		return nil, err
+	}
+	blk, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tDot, `"."`); err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod("program"), name, blk), nil
+}
+
+// block = [consts] [vars] {procdecl} compound
+func (p *parser) block() (*tree.Node, error) {
+	consts, err := p.constPart()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := p.varPart()
+	if err != nil {
+		return nil, err
+	}
+	procs, err := p.procPart()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.compound()
+	if err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod("block"), consts, vars, procs, body), nil
+}
+
+func (p *parser) constPart() (*tree.Node, error) {
+	part := tree.New(p.l.Prod("const_part_empty"))
+	if !p.accept(tConst) {
+		return part, nil
+	}
+	for p.cur().kind == tIdent {
+		name, err := p.id("constant name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tEq, `"="`); err != nil {
+			return nil, err
+		}
+		neg := p.accept(tMinus)
+		num, err := p.expect(tNumber, "number")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tSemi, `";"`); err != nil {
+			return nil, err
+		}
+		prod := "const_decl"
+		if neg {
+			prod = "const_decl_neg"
+		}
+		decl := tree.New(p.l.Prod(prod), name, tree.NewTerminal(p.l.TNum, num.text, num.text))
+		part = tree.New(p.l.Prod("const_part_cons"), part, decl)
+	}
+	return part, nil
+}
+
+func (p *parser) varPart() (*tree.Node, error) {
+	part := tree.New(p.l.Prod("var_part_empty"))
+	if !p.accept(tVar) {
+		return part, nil
+	}
+	for p.cur().kind == tIdent {
+		ids, err := p.idList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon, `":"`); err != nil {
+			return nil, err
+		}
+		ty, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tSemi, `";"`); err != nil {
+			return nil, err
+		}
+		decl := tree.New(p.l.Prod("var_decl"), ids, ty)
+		part = tree.New(p.l.Prod("var_part_cons"), part, decl)
+	}
+	return part, nil
+}
+
+func (p *parser) idList() (*tree.Node, error) {
+	first, err := p.id("identifier")
+	if err != nil {
+		return nil, err
+	}
+	list := tree.New(p.l.Prod("id_list_one"), first)
+	for p.accept(tComma) {
+		next, err := p.id("identifier")
+		if err != nil {
+			return nil, err
+		}
+		list = tree.New(p.l.Prod("id_list_cons"), list, next)
+	}
+	return list, nil
+}
+
+// type = ID | "array" "[" NUM ".." NUM "]" "of" type | "record" fields "end"
+func (p *parser) typeExpr() (*tree.Node, error) {
+	switch p.cur().kind {
+	case tIdent:
+		t := p.advance()
+		return tree.New(p.l.Prod("type_basic"), tree.NewTerminal(p.l.TID, t.text, t.text)), nil
+	case tArray:
+		p.advance()
+		if _, err := p.expect(tLBrack, `"["`); err != nil {
+			return nil, err
+		}
+		lo, err := p.expect(tNumber, "lower bound")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tDotDot, `".."`); err != nil {
+			return nil, err
+		}
+		hi, err := p.expect(tNumber, "upper bound")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrack, `"]"`); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tOf, `"of"`); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		return tree.New(p.l.Prod("type_array"),
+			tree.NewTerminal(p.l.TNum, lo.text, lo.text),
+			tree.NewTerminal(p.l.TNum, hi.text, hi.text),
+			elem), nil
+	case tRecord:
+		p.advance()
+		fields, err := p.fieldList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tEnd, `"end"`); err != nil {
+			return nil, err
+		}
+		return tree.New(p.l.Prod("type_record"), fields), nil
+	default:
+		return nil, p.errf("expected a type, got %s", p.cur())
+	}
+}
+
+func (p *parser) fieldList() (*tree.Node, error) {
+	field, err := p.fieldDecl()
+	if err != nil {
+		return nil, err
+	}
+	list := tree.New(p.l.Prod("field_list_one"), field)
+	for p.accept(tSemi) {
+		if p.cur().kind != tIdent {
+			break // trailing semicolon before "end"
+		}
+		next, err := p.fieldDecl()
+		if err != nil {
+			return nil, err
+		}
+		list = tree.New(p.l.Prod("field_list_cons"), list, next)
+	}
+	return list, nil
+}
+
+func (p *parser) fieldDecl() (*tree.Node, error) {
+	ids, err := p.idList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon, `":"`); err != nil {
+		return nil, err
+	}
+	ty, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod("field_decl"), ids, ty), nil
+}
+
+func (p *parser) procPart() (*tree.Node, error) {
+	part := tree.New(p.l.Prod("proc_part_empty"))
+	for {
+		switch p.cur().kind {
+		case tProcedure:
+			p.advance()
+			decl, err := p.procDecl(false)
+			if err != nil {
+				return nil, err
+			}
+			part = tree.New(p.l.Prod("proc_part_cons"), part, decl)
+		case tFunction:
+			p.advance()
+			decl, err := p.procDecl(true)
+			if err != nil {
+				return nil, err
+			}
+			part = tree.New(p.l.Prod("proc_part_cons"), part, decl)
+		default:
+			return part, nil
+		}
+	}
+}
+
+func (p *parser) procDecl(isFunc bool) (*tree.Node, error) {
+	name, err := p.id("procedure name")
+	if err != nil {
+		return nil, err
+	}
+	formals, err := p.formalPart()
+	if err != nil {
+		return nil, err
+	}
+	var retType *tree.Node
+	if isFunc {
+		if _, err := p.expect(tColon, `":"`); err != nil {
+			return nil, err
+		}
+		retType, err = p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tSemi, `";"`); err != nil {
+		return nil, err
+	}
+	blk, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tSemi, `";"`); err != nil {
+		return nil, err
+	}
+	if isFunc {
+		return tree.New(p.l.Prod("proc_decl_func"), name, formals, retType, blk), nil
+	}
+	return tree.New(p.l.Prod("proc_decl_proc"), name, formals, blk), nil
+}
+
+func (p *parser) formalPart() (*tree.Node, error) {
+	part := tree.New(p.l.Prod("formal_empty"))
+	if !p.accept(tLParen) {
+		return part, nil
+	}
+	for {
+		byRef := p.accept(tVar)
+		ids, err := p.idList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon, `":"`); err != nil {
+			return nil, err
+		}
+		ty, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		prod := "formal_val"
+		if byRef {
+			prod = "formal_var"
+		}
+		formal := tree.New(p.l.Prod(prod), ids, ty)
+		part = tree.New(p.l.Prod("formal_cons"), part, formal)
+		if !p.accept(tSemi) {
+			break
+		}
+	}
+	if _, err := p.expect(tRParen, `")"`); err != nil {
+		return nil, err
+	}
+	return part, nil
+}
+
+// compound = "begin" stmt {";" stmt} "end"
+func (p *parser) compound() (*tree.Node, error) {
+	if _, err := p.expect(tBegin, `"begin"`); err != nil {
+		return nil, err
+	}
+	first, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	list := tree.New(p.l.Prod("stmt_list_one"), first)
+	for p.accept(tSemi) {
+		next, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		list = tree.New(p.l.Prod("stmt_list_cons"), list, next)
+	}
+	if _, err := p.expect(tEnd, `"end"`); err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod("stmt_compound"), list), nil
+}
+
+func (p *parser) stmt() (*tree.Node, error) {
+	switch p.cur().kind {
+	case tBegin:
+		return p.compound()
+	case tIf:
+		return p.ifStmt()
+	case tWhile:
+		return p.whileStmt()
+	case tRepeat:
+		return p.repeatStmt()
+	case tFor:
+		return p.forStmt()
+	case tCase:
+		return p.caseStmt()
+	case tWrite, tWriteln:
+		return p.writeStmt()
+	case tRead, tReadln:
+		return p.readStmt()
+	case tIdent:
+		return p.assignOrCall()
+	default:
+		// empty statement (before ";", "end", "until", "else")
+		return tree.New(p.l.Prod("stmt_empty")), nil
+	}
+}
+
+func (p *parser) ifStmt() (*tree.Node, error) {
+	p.advance() // if
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tThen, `"then"`); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tElse) {
+		els, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return tree.New(p.l.Prod("stmt_ifelse"), cond, then, els), nil
+	}
+	return tree.New(p.l.Prod("stmt_if"), cond, then), nil
+}
+
+func (p *parser) whileStmt() (*tree.Node, error) {
+	p.advance() // while
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tDo, `"do"`); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod("stmt_while"), cond, body), nil
+}
+
+func (p *parser) repeatStmt() (*tree.Node, error) {
+	p.advance() // repeat
+	first, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	list := tree.New(p.l.Prod("stmt_list_one"), first)
+	for p.accept(tSemi) {
+		next, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		list = tree.New(p.l.Prod("stmt_list_cons"), list, next)
+	}
+	if _, err := p.expect(tUntil, `"until"`); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod("stmt_repeat"), list, cond), nil
+}
+
+func (p *parser) forStmt() (*tree.Node, error) {
+	p.advance() // for
+	loopVar, err := p.variable()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tAssign, `":="`); err != nil {
+		return nil, err
+	}
+	from, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	prod := "stmt_for_to"
+	switch p.cur().kind {
+	case tTo:
+		p.advance()
+	case tDownto:
+		p.advance()
+		prod = "stmt_for_down"
+	default:
+		return nil, p.errf(`expected "to" or "downto", got %s`, p.cur())
+	}
+	to, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tDo, `"do"`); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod(prod), loopVar, from, to, body), nil
+}
+
+func (p *parser) caseStmt() (*tree.Node, error) {
+	p.advance() // case
+	sel, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tOf, `"of"`); err != nil {
+		return nil, err
+	}
+	arm, err := p.caseArm()
+	if err != nil {
+		return nil, err
+	}
+	arms := tree.New(p.l.Prod("case_arms_one"), arm)
+	var elseStmt *tree.Node
+	for p.accept(tSemi) {
+		if p.cur().kind == tEnd || p.cur().kind == tElse {
+			break
+		}
+		next, err := p.caseArm()
+		if err != nil {
+			return nil, err
+		}
+		arms = tree.New(p.l.Prod("case_arms_cons"), arms, next)
+	}
+	if p.accept(tElse) {
+		elseStmt, err = p.stmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tEnd, `"end"`); err != nil {
+		return nil, err
+	}
+	if elseStmt != nil {
+		return tree.New(p.l.Prod("stmt_case_else"), sel, arms, elseStmt), nil
+	}
+	return tree.New(p.l.Prod("stmt_case"), sel, arms), nil
+}
+
+func (p *parser) caseArm() (*tree.Node, error) {
+	num, err := p.expect(tNumber, "case label")
+	if err != nil {
+		return nil, err
+	}
+	nums := tree.New(p.l.Prod("num_list_one"), tree.NewTerminal(p.l.TNum, num.text, num.text))
+	for p.accept(tComma) {
+		next, err := p.expect(tNumber, "case label")
+		if err != nil {
+			return nil, err
+		}
+		nums = tree.New(p.l.Prod("num_list_cons"), nums, tree.NewTerminal(p.l.TNum, next.text, next.text))
+	}
+	if _, err := p.expect(tColon, `":"`); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod("case_arm"), nums, body), nil
+}
+
+func (p *parser) writeStmt() (*tree.Node, error) {
+	newline := p.cur().kind == tWriteln
+	p.advance()
+	args := tree.New(p.l.Prod("wargs_empty"))
+	if p.accept(tLParen) {
+		for {
+			var arg *tree.Node
+			if p.cur().kind == tString {
+				t := p.advance()
+				arg = tree.New(p.l.Prod("warg_str"), tree.NewTerminal(p.l.TStr, t.text, t.text))
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				arg = tree.New(p.l.Prod("warg_expr"), e)
+			}
+			args = tree.New(p.l.Prod("wargs_cons"), args, arg)
+			if !p.accept(tComma) {
+				break
+			}
+		}
+		if _, err := p.expect(tRParen, `")"`); err != nil {
+			return nil, err
+		}
+	}
+	prod := "stmt_write"
+	if newline {
+		prod = "stmt_writeln"
+	}
+	return tree.New(p.l.Prod(prod), args), nil
+}
+
+func (p *parser) readStmt() (*tree.Node, error) {
+	skip := p.cur().kind == tReadln
+	p.advance()
+	if _, err := p.expect(tLParen, `"("`); err != nil {
+		return nil, err
+	}
+	v, err := p.variable()
+	if err != nil {
+		return nil, err
+	}
+	list := tree.New(p.l.Prod("rargs_one"), v)
+	for p.accept(tComma) {
+		next, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		list = tree.New(p.l.Prod("rargs_cons"), list, next)
+	}
+	if _, err := p.expect(tRParen, `")"`); err != nil {
+		return nil, err
+	}
+	prod := "stmt_read"
+	if skip {
+		prod = "stmt_readln"
+	}
+	return tree.New(p.l.Prod(prod), list), nil
+}
+
+// assignOrCall parses `variable := expr` or `ID [args]`.
+func (p *parser) assignOrCall() (*tree.Node, error) {
+	if p.peek().kind == tLParen {
+		// procedure call with arguments
+		name := p.advance()
+		args, err := p.argList()
+		if err != nil {
+			return nil, err
+		}
+		return tree.New(p.l.Prod("stmt_call"),
+			tree.NewTerminal(p.l.TID, name.text, name.text), args), nil
+	}
+	switch p.peek().kind {
+	case tAssign, tLBrack, tDot:
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tAssign, `":="`); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return tree.New(p.l.Prod("stmt_assign"), v, e), nil
+	default:
+		// parameterless procedure call
+		name := p.advance()
+		args := tree.New(p.l.Prod("args_empty"))
+		return tree.New(p.l.Prod("stmt_call"),
+			tree.NewTerminal(p.l.TID, name.text, name.text), args), nil
+	}
+}
+
+// variable = ID { "[" expr "]" | "." ID }
+func (p *parser) variable() (*tree.Node, error) {
+	name, err := p.id("variable")
+	if err != nil {
+		return nil, err
+	}
+	v := tree.New(p.l.Prod("var_id"), name)
+	for {
+		switch {
+		case p.accept(tLBrack):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBrack, `"]"`); err != nil {
+				return nil, err
+			}
+			v = tree.New(p.l.Prod("var_index"), v, idx)
+		case p.cur().kind == tDot && p.peek().kind == tIdent:
+			p.advance()
+			field := p.advance()
+			v = tree.New(p.l.Prod("var_field"), v,
+				tree.NewTerminal(p.l.TID, field.text, field.text))
+		default:
+			return v, nil
+		}
+	}
+}
+
+// argList = "(" [expr {"," expr}] ")"
+func (p *parser) argList() (*tree.Node, error) {
+	if _, err := p.expect(tLParen, `"("`); err != nil {
+		return nil, err
+	}
+	args := tree.New(p.l.Prod("args_empty"))
+	if p.cur().kind != tRParen {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = tree.New(p.l.Prod("args_cons"), args, e)
+			if !p.accept(tComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tRParen, `")"`); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// expr = simple [relop simple]
+func (p *parser) expr() (*tree.Node, error) {
+	left, err := p.simple()
+	if err != nil {
+		return nil, err
+	}
+	var prod string
+	switch p.cur().kind {
+	case tEq:
+		prod = "expr_eq"
+	case tNe:
+		prod = "expr_ne"
+	case tLt:
+		prod = "expr_lt"
+	case tLe:
+		prod = "expr_le"
+	case tGt:
+		prod = "expr_gt"
+	case tGe:
+		prod = "expr_ge"
+	default:
+		return left, nil
+	}
+	p.advance()
+	right, err := p.simple()
+	if err != nil {
+		return nil, err
+	}
+	return tree.New(p.l.Prod(prod), left, right), nil
+}
+
+// simple = ["-"] term { ("+"|"-"|"or") term }
+func (p *parser) simple() (*tree.Node, error) {
+	neg := p.accept(tMinus)
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		left = tree.New(p.l.Prod("expr_neg"), left)
+	}
+	for {
+		var prod string
+		switch p.cur().kind {
+		case tPlus:
+			prod = "expr_add"
+		case tMinus:
+			prod = "expr_sub"
+		case tOr:
+			prod = "expr_or"
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = tree.New(p.l.Prod(prod), left, right)
+	}
+}
+
+// term = factor { ("*"|"div"|"mod"|"and") factor }
+func (p *parser) term() (*tree.Node, error) {
+	left, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var prod string
+		switch p.cur().kind {
+		case tStar:
+			prod = "expr_mul"
+		case tDiv:
+			prod = "expr_div"
+		case tMod:
+			prod = "expr_mod"
+		case tAnd:
+			prod = "expr_and"
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		left = tree.New(p.l.Prod(prod), left, right)
+	}
+}
+
+func (p *parser) factor() (*tree.Node, error) {
+	switch t := p.cur(); t.kind {
+	case tNumber:
+		p.advance()
+		return tree.New(p.l.Prod("expr_num"), tree.NewTerminal(p.l.TNum, t.text, t.text)), nil
+	case tChar:
+		p.advance()
+		return tree.New(p.l.Prod("expr_char"), tree.NewTerminal(p.l.TChar, t.text, t.text)), nil
+	case tTrue:
+		p.advance()
+		return tree.New(p.l.Prod("expr_true")), nil
+	case tFalse:
+		p.advance()
+		return tree.New(p.l.Prod("expr_false")), nil
+	case tNot:
+		p.advance()
+		operand, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return tree.New(p.l.Prod("expr_not"), operand), nil
+	case tMinus:
+		p.advance()
+		operand, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return tree.New(p.l.Prod("expr_neg"), operand), nil
+	case tLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tIdent:
+		if p.peek().kind == tLParen {
+			name := p.advance()
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return tree.New(p.l.Prod("expr_call"),
+				tree.NewTerminal(p.l.TID, name.text, name.text), args), nil
+		}
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		return tree.New(p.l.Prod("expr_var"), v), nil
+	default:
+		return nil, p.errf("expected an expression, got %s", t)
+	}
+}

@@ -1,0 +1,280 @@
+package pascal_test
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/eval"
+	"pag/internal/pascal"
+	"pag/internal/rope"
+	"pag/internal/vax"
+)
+
+const helloSrc = `
+program hello;
+begin
+  writeln('hello, world')
+end.
+`
+
+const sumSrc = `
+program summer;
+const n = 10;
+var total, i: integer;
+begin
+  total := 0;
+  for i := 1 to n do
+    total := total + i*i;
+  writeln(total)
+end.
+`
+
+const procSrc = `
+program nested;
+var g: integer;
+
+procedure outer(x: integer);
+var y: integer;
+
+  function inner(a: integer): integer;
+  begin
+    inner := a + x + g
+  end;
+
+begin
+  y := inner(5);
+  if y > 10 then
+    writeln('big', y)
+  else
+    writeln('small', y)
+end;
+
+begin
+  g := 2;
+  outer(3)
+end.
+`
+
+const structSrc = `
+program shapes;
+var
+  pts: array[1..8] of record x, y: integer end;
+  i, sum: integer;
+begin
+  for i := 1 to 8 do
+  begin
+    pts[i].x := i;
+    pts[i].y := i * i
+  end;
+  sum := 0;
+  i := 1;
+  while i <= 8 do
+  begin
+    sum := sum + pts[i].x + pts[i].y;
+    i := i + 1
+  end;
+  case sum mod 3 of
+    0: writeln('zero');
+    1: writeln('one')
+  else
+    writeln('two')
+  end;
+  repeat
+    sum := sum div 2
+  until sum = 0
+end.
+`
+
+var goodPrograms = map[string]string{
+	"hello":  helloSrc,
+	"sum":    sumSrc,
+	"proc":   procSrc,
+	"struct": structSrc,
+}
+
+func compile(t *testing.T, l *pascal.Lang, src string) (string, []string) {
+	t.Helper()
+	root, err := l.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st := eval.NewStatic(l.A, eval.Hooks{})
+	if err := st.EvaluateTree(root); err != nil {
+		t.Fatalf("EvaluateTree: %v", err)
+	}
+	code := rope.FlattenCode(root.Attrs[pascal.ProgAttrCode].(rope.Code), nil)
+	var errs []string
+	if v := root.Attrs[pascal.ProgAttrErrs]; v != nil {
+		errs = v.([]string)
+	}
+	return code, errs
+}
+
+func TestGrammarIsOrdered(t *testing.T) {
+	l, err := pascal.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := len(l.G.Prods); got < 50 {
+		t.Errorf("grammar has %d productions, expected a sizable subset (>=50)", got)
+	}
+	rules := 0
+	for _, p := range l.G.Prods {
+		rules += len(p.Rules)
+	}
+	if rules < 250 {
+		t.Errorf("grammar has %d semantic rules, expected >= 250 (paper: ~400)", rules)
+	}
+	// proc_part must need two visits: signatures up, then env down.
+	if v := l.A.NumVisits(l.ProcPart); v != 2 {
+		t.Errorf("proc_part visits = %d, want 2 (phases %+v)", v, l.A.Phases(l.ProcPart))
+	}
+	if v := l.A.NumVisits(l.Stmt); v != 1 {
+		t.Errorf("stmt visits = %d, want 1", v)
+	}
+}
+
+func TestCompileGoodPrograms(t *testing.T) {
+	l := pascal.MustNew()
+	for name, src := range goodPrograms {
+		code, errs := compile(t, l, src)
+		if len(errs) > 0 {
+			t.Errorf("%s: unexpected semantic errors: %v", name, errs)
+			continue
+		}
+		if problems := vax.Validate(code); len(problems) > 0 {
+			t.Errorf("%s: invalid assembly:\n  %s\ncode:\n%s",
+				name, strings.Join(problems[:min(3, len(problems))], "\n  "), code)
+		}
+		if !strings.Contains(code, "_main:") {
+			t.Errorf("%s: no _main entry point", name)
+		}
+	}
+}
+
+func TestCompileHelloShape(t *testing.T) {
+	l := pascal.MustNew()
+	code, _ := compile(t, l, helloSrc)
+	for _, want := range []string{"_printstr", "_printnl", ".asciz \"hello, world\"", ".data"} {
+		if !strings.Contains(code, want) {
+			t.Errorf("hello code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestNestedProcedureCode(t *testing.T) {
+	l := pascal.MustNew()
+	code, errs := compile(t, l, procSrc)
+	if len(errs) > 0 {
+		t.Fatalf("semantic errors: %v", errs)
+	}
+	for _, want := range []string{
+		"main_outer:",        // outer's label derives from main
+		"main_outer_inner:",  // inner's label derives from outer
+		"movl 4(ap), -4(fp)", // static link capture
+		"movl -4(fp), r0",    // uplevel access chases the static link
+		"calls $2, main_outer",
+		"movl -8(fp), r0", // function result
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("nested-proc code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	l := pascal.MustNew()
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"undeclared", `program p; begin x := 1 end.`, "undeclared identifier"},
+		{"type-mismatch", `program p; var b: boolean; begin b := 3 end.`, "cannot assign"},
+		{"bad-cond", `program p; begin if 3 then writeln(1) end.`, "must be boolean"},
+		{"dup-decl", `program p; var x: integer; x: integer; begin end.`, "duplicate declaration"},
+		{"bad-call", `program p; procedure q(a: integer); begin end; begin q(1, 2) end.`, "expects 1 argument"},
+		{"not-proc", `program p; var x: integer; begin x(3) end.`, "not a procedure"},
+		{"var-arg", `program p; procedure q(var a: integer); begin end; begin q(1+2) end.`, "must be a variable"},
+		{"const-assign", `program p; const c = 4; begin c := 5 end.`, "cannot assign to a constant"},
+		{"bad-index", `program p; var x: integer; begin x[1] := 2 end.`, "cannot index"},
+		{"bad-field", `program p; var r: record a: integer end; begin r.b := 1 end.`, "no field"},
+		{"unknown-type", `program p; var x: real; begin end.`, "unknown type"},
+		{"agg-by-value", `program p; var a: array[1..3] of integer; procedure q(v: array[1..3] of integer); begin end; begin q(a) end.`, "must be scalar"},
+	}
+	for _, tc := range cases {
+		_, errs := compile(t, l, tc.src)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e, tc.wantErr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected error containing %q, got %v", tc.name, tc.wantErr, errs)
+		}
+	}
+}
+
+func TestDynamicAndStaticAgree(t *testing.T) {
+	l := pascal.MustNew()
+	for name, src := range goodPrograms {
+		rootS, err := l.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := eval.NewStatic(l.A, eval.Hooks{})
+		if err := st.EvaluateTree(rootS); err != nil {
+			t.Fatalf("%s: static: %v", name, err)
+		}
+		rootD, err := l.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := eval.NewDynamic(l.G, rootD, eval.Hooks{})
+		d.Run()
+		if !d.Done() {
+			t.Fatalf("%s: dynamic evaluator blocked: %v", name, d.Blocked()[:min(5, len(d.Blocked()))])
+		}
+		sCode := rope.FlattenCode(rootS.Attrs[pascal.ProgAttrCode].(rope.Code), nil)
+		dCode := rope.FlattenCode(rootD.Attrs[pascal.ProgAttrCode].(rope.Code), nil)
+		if sCode != dCode {
+			t.Errorf("%s: static and dynamic evaluators produced different code", name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	l := pascal.MustNew()
+	bad := []string{
+		`program p begin end.`,                 // missing semicolon
+		`program p; begin if then end.`,        // missing condition
+		`program p; begin x := end.`,           // missing expression
+		`program p; var x integer; begin end.`, // missing colon
+		`program p; begin end`,                 // missing dot
+	}
+	for _, src := range bad {
+		if _, err := l.Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestPeepholeImprovesCode(t *testing.T) {
+	before := "\tmovl $5, r0\n\tpushl r0\n\tmovl (sp)+, r1\n\taddl2 $0, r1\n"
+	after, n := vax.Peephole(before)
+	if n == 0 {
+		t.Fatal("peephole found nothing to rewrite")
+	}
+	if strings.Contains(after, "addl2 $0") {
+		t.Errorf("identity not removed: %q", after)
+	}
+	if strings.Contains(after, "pushl") {
+		t.Errorf("push/pop pair not collapsed: %q", after)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,238 @@
+// Package pascal implements the paper's generated compiler (§3): a
+// sizable Pascal subset translated to VAX assembly language by an
+// attribute grammar. All control constructs except with and goto are
+// included, as are value and reference parameters, nested procedures
+// and functions, arrays and records. Variant records, enumerations,
+// sets, floating point, file I/O and procedure parameters are omitted,
+// as in the paper; write/writeln/read/readln are treated as keywords.
+package pascal
+
+import (
+	"fmt"
+	"strings"
+
+	"pag/internal/symtab"
+)
+
+// Type is a Pascal type.
+type Type interface {
+	Size() int // bytes (longword-aligned storage units)
+	String() string
+	Equal(other Type) bool
+}
+
+// Basic is a predeclared scalar type.
+type Basic struct {
+	Name string
+	Sz   int
+}
+
+// The predeclared types.
+var (
+	IntegerType = &Basic{Name: "integer", Sz: 4}
+	BooleanType = &Basic{Name: "boolean", Sz: 4}
+	CharType    = &Basic{Name: "char", Sz: 4}
+	// ErrorType marks expressions whose type could not be determined;
+	// it compares equal to everything to suppress error cascades.
+	ErrorType = &Basic{Name: "<error>", Sz: 4}
+)
+
+// Size implements Type.
+func (b *Basic) Size() int { return b.Sz }
+
+func (b *Basic) String() string { return b.Name }
+
+// Equal implements Type.
+func (b *Basic) Equal(o Type) bool {
+	if b == ErrorType || o == ErrorType {
+		return true
+	}
+	ob, ok := o.(*Basic)
+	return ok && ob.Name == b.Name
+}
+
+// Array is a static array type array[Lo..Hi] of Elem.
+type Array struct {
+	Lo, Hi int
+	Elem   Type
+}
+
+// Size implements Type.
+func (a *Array) Size() int { return (a.Hi - a.Lo + 1) * a.Elem.Size() }
+
+func (a *Array) String() string {
+	return fmt.Sprintf("array[%d..%d] of %s", a.Lo, a.Hi, a.Elem)
+}
+
+// Equal implements Type (structural equivalence).
+func (a *Array) Equal(o Type) bool {
+	if o == ErrorType {
+		return true
+	}
+	oa, ok := o.(*Array)
+	return ok && oa.Lo == a.Lo && oa.Hi == a.Hi && a.Elem.Equal(oa.Elem)
+}
+
+// Field is one record field.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int
+}
+
+// Record is a non-variant record type.
+type Record struct {
+	Fields []Field
+	Sz     int
+}
+
+// NewRecord lays out the fields and returns the record type.
+func NewRecord(fields []Field) *Record {
+	off := 0
+	for i := range fields {
+		fields[i].Offset = off
+		off += fields[i].Type.Size()
+	}
+	return &Record{Fields: fields, Sz: off}
+}
+
+// Size implements Type.
+func (r *Record) Size() int { return r.Sz }
+
+func (r *Record) String() string {
+	var names []string
+	for _, f := range r.Fields {
+		names = append(names, f.Name+": "+f.Type.String())
+	}
+	return "record " + strings.Join(names, "; ") + " end"
+}
+
+// Equal implements Type (structural equivalence).
+func (r *Record) Equal(o Type) bool {
+	if o == ErrorType {
+		return true
+	}
+	or, ok := o.(*Record)
+	if !ok || len(or.Fields) != len(r.Fields) {
+		return false
+	}
+	for i := range r.Fields {
+		if r.Fields[i].Name != or.Fields[i].Name || !r.Fields[i].Type.Equal(or.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns the field with the given name.
+func (r *Record) Find(name string) (Field, bool) {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// EntryKind discriminates symbol-table entries.
+type EntryKind int
+
+// Symbol-table entry kinds.
+const (
+	VarEntry EntryKind = iota + 1
+	ConstEntry
+	ProcEntry
+	FuncEntry
+)
+
+func (k EntryKind) String() string {
+	switch k {
+	case VarEntry:
+		return "var"
+	case ConstEntry:
+		return "const"
+	case ProcEntry:
+		return "procedure"
+	case FuncEntry:
+		return "function"
+	default:
+		return fmt.Sprintf("EntryKind(%d)", int(k))
+	}
+}
+
+// Param describes one formal parameter.
+type Param struct {
+	Name  string
+	Type  Type
+	ByRef bool // var parameter
+}
+
+// Entry is one symbol-table binding.
+type Entry struct {
+	Name  string
+	Kind  EntryKind
+	Type  Type // variable/function result/const type
+	Level int  // static nesting level (0 = program)
+	// VarEntry: frame offset (negative, fp-relative) for locals;
+	// parameter slot (positive, ap-relative) for parameters.
+	Offset int
+	ByRef  bool // var parameter (holds an address)
+	Value  int  // ConstEntry: the constant's value
+	// Proc/FuncEntry: code label and formals.
+	Label  string
+	Params []Param
+}
+
+// Env is the environment attribute: an applicative symbol table plus
+// the current static nesting level. Env values are immutable; Bind
+// returns extended copies sharing structure (paper §4.3).
+type Env struct {
+	tab   *symtab.Table
+	Level int
+	// NextFree is the number of bytes already allocated below fp in the
+	// current frame (4 is the static-link slot); it doubles as the
+	// frame size once all declarations are processed.
+	NextFree int
+}
+
+// EmptyEnv returns the outermost (program-level) environment.
+func EmptyEnv() *Env { return &Env{tab: symtab.New(), Level: 0, NextFree: 4} }
+
+// Bind returns an Env extended with the entry.
+func (e *Env) Bind(ent *Entry) *Env {
+	return &Env{tab: e.tab.Add(ent.Name, ent), Level: e.Level, NextFree: e.NextFree}
+}
+
+// Enter returns an Env one nesting level deeper.
+func (e *Env) Enter() *Env {
+	return &Env{tab: e.tab, Level: e.Level + 1, NextFree: e.NextFree}
+}
+
+// Lookup resolves a name.
+func (e *Env) Lookup(name string) (*Entry, bool) {
+	v, ok := e.tab.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Entry), true
+}
+
+// Len returns the number of bindings (for stats and cost models).
+func (e *Env) Len() int { return e.tab.Len() }
+
+// Depth returns the symbol-table tree depth (for cost models).
+func (e *Env) Depth() int { return e.tab.Depth() }
+
+// Entries returns all bindings in deterministic order.
+func (e *Env) Entries() []*Entry {
+	raw := e.tab.Entries()
+	out := make([]*Entry, len(raw))
+	for i, r := range raw {
+		out[i] = r.Val.(*Entry)
+	}
+	return out
+}
+
+func (e *Env) String() string {
+	return fmt.Sprintf("env(level %d, %d bindings)", e.Level, e.Len())
+}

@@ -1,0 +1,206 @@
+// Package pipeline implements the baseline parallelization strategies
+// the paper compares against in §5: pipelining the phases of a
+// conventional compiler across machines (the paper's own attempt on
+// the portable C compiler "shows speedups limited to ~2"), and running
+// several independent compilations under a parallel make with a
+// sequential link step at the end.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"pag/internal/netsim"
+)
+
+// Stage describes one compiler phase in the pipeline.
+type Stage struct {
+	Name string
+	// CostPerByte is the simulated CPU time per input byte.
+	CostPerByte time.Duration
+}
+
+// DefaultStages approximates the phase breakdown of a conventional
+// four-pass compiler: scanning is cheap, semantic analysis and code
+// generation dominate — which is why pipelining cannot beat the share
+// of the slowest stage.
+func DefaultStages() []Stage {
+	return []Stage{
+		{Name: "scan", CostPerByte: 12 * time.Microsecond},
+		{Name: "parse", CostPerByte: 18 * time.Microsecond},
+		{Name: "semantic", CostPerByte: 28 * time.Microsecond},
+		{Name: "codegen", CostPerByte: 34 * time.Microsecond},
+	}
+}
+
+// TotalPerByte returns the summed per-byte cost of all stages.
+func TotalPerByte(stages []Stage) time.Duration {
+	var total time.Duration
+	for _, s := range stages {
+		total += s.CostPerByte
+	}
+	return total
+}
+
+// Result reports a pipeline run.
+type Result struct {
+	Sequential time.Duration // all stages on one machine
+	Pipelined  time.Duration // one machine per stage
+	Speedup    float64
+	Stages     int
+	Units      int
+}
+
+// unitMsg carries one translation unit through the pipeline.
+type unitMsg struct {
+	size int
+}
+
+// Run pipelines the translation units (sizes in bytes, e.g. one unit
+// per procedure) through the stages, one machine per stage, over the
+// simulated network, and compares against a single machine running all
+// stages. Units flow through the pipe in order, as the data dependency
+// between compiler phases requires.
+func Run(units []int, stages []Stage, hw netsim.Config) (*Result, error) {
+	if len(units) == 0 || len(stages) == 0 {
+		return nil, fmt.Errorf("pipeline: need at least one unit and one stage")
+	}
+	// Sequential time: every byte through every stage on one CPU.
+	var seq time.Duration
+	for _, u := range units {
+		seq += time.Duration(u) * TotalPerByte(stages)
+	}
+
+	sim := netsim.New(hw)
+	procs := make([]*netsim.Proc, len(stages))
+	var end time.Duration
+	for i := range stages {
+		i := i
+		st := stages[i]
+		procs[i] = sim.Spawn(st.Name, func(p *netsim.Proc) {
+			for range units {
+				m, ok := p.Recv()
+				if !ok {
+					return
+				}
+				u := m.Payload.(unitMsg)
+				p.Compute(time.Duration(u.size) * st.CostPerByte)
+				if i+1 < len(stages) {
+					p.Send(procs[i+1], "unit", u, u.size)
+				} else if p.Now() > end {
+					end = p.Now()
+				}
+			}
+		})
+	}
+	feeder := sim.Spawn("source", func(p *netsim.Proc) {
+		for _, u := range units {
+			p.Send(procs[0], "unit", unitMsg{size: u}, u)
+		}
+	})
+	_ = feeder
+	if _, err := sim.Run(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Sequential: seq,
+		Pipelined:  end,
+		Stages:     len(stages),
+		Units:      len(units),
+	}
+	if end > 0 {
+		res.Speedup = float64(seq) / float64(end)
+	}
+	return res, nil
+}
+
+// MakeResult reports a parallel-make run.
+type MakeResult struct {
+	Sequential time.Duration
+	Parallel   time.Duration
+	Speedup    float64
+	LinkTime   time.Duration
+}
+
+// ParallelMake distributes independent compilations (sizes in bytes)
+// over the given number of machines and finishes with a sequential
+// link step proportional to the total size — the paper's observation
+// that parallel make "suffers from differences in size between
+// compilations and from a sequential linking phase at the end".
+func ParallelMake(compilations []int, machines int, costPerByte, linkPerByte time.Duration, hw netsim.Config) (*MakeResult, error) {
+	if machines < 1 || len(compilations) == 0 {
+		return nil, fmt.Errorf("pipeline: need machines >= 1 and at least one compilation")
+	}
+	var seq, linkTime time.Duration
+	total := 0
+	for _, c := range compilations {
+		seq += time.Duration(c) * costPerByte
+		total += c
+	}
+	linkTime = time.Duration(total) * linkPerByte
+	seq += linkTime
+
+	sim := netsim.New(hw)
+	workers := make([]*netsim.Proc, machines)
+	for i := range workers {
+		i := i
+		workers[i] = sim.Spawn(fmt.Sprintf("cc-%d", i), func(p *netsim.Proc) {
+			for {
+				m, ok := p.Recv()
+				if !ok {
+					return
+				}
+				if m.Kind == "stop" {
+					return
+				}
+				size := m.Payload.(int)
+				p.Compute(time.Duration(size) * costPerByte)
+				p.Send(m.From, "done", size, 64)
+			}
+		})
+	}
+	var parallel time.Duration
+	sim.Spawn("make", func(p *netsim.Proc) {
+		// Longest-processing-time-first assignment onto idle workers.
+		pending := append([]int(nil), compilations...)
+		idle := append([]*netsim.Proc(nil), workers...)
+		inFlight := 0
+		for len(pending) > 0 || inFlight > 0 {
+			for len(pending) > 0 && len(idle) > 0 {
+				// pick the largest pending job
+				best := 0
+				for i, c := range pending {
+					if c > pending[best] {
+						best = i
+					}
+				}
+				job := pending[best]
+				pending = append(pending[:best], pending[best+1:]...)
+				w := idle[0]
+				idle = idle[1:]
+				p.Send(w, "job", job, job)
+				inFlight++
+			}
+			m, ok := p.Recv()
+			if !ok {
+				return
+			}
+			inFlight--
+			idle = append(idle, m.From)
+		}
+		// Sequential link at the end.
+		p.Compute(linkTime)
+		parallel = p.Now()
+		for _, w := range workers {
+			p.Send(w, "stop", nil, 1)
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		return nil, err
+	}
+	res := &MakeResult{Sequential: seq, Parallel: parallel, LinkTime: linkTime}
+	if parallel > 0 {
+		res.Speedup = float64(seq) / float64(parallel)
+	}
+	return res, nil
+}

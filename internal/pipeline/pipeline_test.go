@@ -1,0 +1,109 @@
+package pipeline_test
+
+import (
+	"testing"
+	"time"
+
+	"pag/internal/netsim"
+	"pag/internal/pipeline"
+)
+
+func hw() netsim.Config {
+	cfg := netsim.DefaultHardware()
+	return cfg
+}
+
+func TestPipelineSpeedupBounded(t *testing.T) {
+	units := make([]int, 40)
+	for i := range units {
+		units[i] = 1000 + (i%5)*200
+	}
+	res, err := pipeline.Run(units, pipeline.DefaultStages(), hw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 1.0 {
+		t.Errorf("pipeline slower than sequential: %.2f", res.Speedup)
+	}
+	// Upper bound: total cost / slowest stage cost.
+	slowest := pipeline.DefaultStages()[3].CostPerByte
+	bound := float64(pipeline.TotalPerByte(pipeline.DefaultStages())) / float64(slowest)
+	if res.Speedup > bound {
+		t.Errorf("speedup %.2f exceeds theoretical bound %.2f", res.Speedup, bound)
+	}
+}
+
+func TestPipelineSingleUnitNoSpeedup(t *testing.T) {
+	// One translation unit cannot overlap stages (beyond fill effects).
+	res, err := pipeline.Run([]int{5000}, pipeline.DefaultStages(), hw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup > 1.05 {
+		t.Errorf("single unit achieved speedup %.2f; pipelining needs a stream", res.Speedup)
+	}
+}
+
+func TestPipelineManySmallUnitsApproachesBound(t *testing.T) {
+	units := make([]int, 200)
+	for i := range units {
+		units[i] = 500
+	}
+	res, err := pipeline.Run(units, pipeline.DefaultStages(), hw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowest := pipeline.DefaultStages()[3].CostPerByte
+	bound := float64(pipeline.TotalPerByte(pipeline.DefaultStages())) / float64(slowest)
+	if res.Speedup < bound*0.7 {
+		t.Errorf("long stream speedup %.2f well below bound %.2f", res.Speedup, bound)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := pipeline.Run(nil, pipeline.DefaultStages(), hw()); err == nil {
+		t.Error("accepted empty unit list")
+	}
+	if _, err := pipeline.Run([]int{1}, nil, hw()); err == nil {
+		t.Error("accepted empty stage list")
+	}
+}
+
+func TestParallelMakeSpeedup(t *testing.T) {
+	comps := []int{8000, 6000, 4000, 4000, 3000, 2000}
+	cost := 50 * time.Microsecond
+	link := 5 * time.Microsecond
+	res, err := pipeline.ParallelMake(comps, 6, cost, link, hw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 1.5 {
+		t.Errorf("parallel make speedup %.2f too low", res.Speedup)
+	}
+	// Amdahl bound: the largest compilation plus the link is serial.
+	serial := time.Duration(8000)*cost + res.LinkTime
+	bound := float64(res.Sequential) / float64(serial)
+	if res.Speedup > bound+0.01 {
+		t.Errorf("speedup %.2f exceeds serial-path bound %.2f", res.Speedup, bound)
+	}
+}
+
+func TestParallelMakeOneMachineIsSequential(t *testing.T) {
+	comps := []int{3000, 2000, 1000}
+	res, err := pipeline.ParallelMake(comps, 1, 50*time.Microsecond, 5*time.Microsecond, hw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup > 1.01 {
+		t.Errorf("one machine achieved speedup %.2f", res.Speedup)
+	}
+}
+
+func TestParallelMakeErrors(t *testing.T) {
+	if _, err := pipeline.ParallelMake(nil, 2, time.Microsecond, time.Microsecond, hw()); err == nil {
+		t.Error("accepted empty compilation list")
+	}
+	if _, err := pipeline.ParallelMake([]int{1}, 0, time.Microsecond, time.Microsecond, hw()); err == nil {
+		t.Error("accepted zero machines")
+	}
+}

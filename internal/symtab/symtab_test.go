@@ -1,0 +1,147 @@
+package symtab_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pag/internal/symtab"
+)
+
+func TestEmptyTable(t *testing.T) {
+	e := symtab.New()
+	if e.Len() != 0 || e.Depth() != 0 {
+		t.Errorf("empty table: len=%d depth=%d", e.Len(), e.Depth())
+	}
+	if _, ok := e.Lookup("x"); ok {
+		t.Error("empty table claims a binding")
+	}
+	var nilTable *symtab.Table
+	if _, ok := nilTable.Lookup("x"); ok {
+		t.Error("nil table claims a binding")
+	}
+	if nilTable.Len() != 0 {
+		t.Error("nil table has nonzero length")
+	}
+}
+
+func TestAddLookup(t *testing.T) {
+	tab := symtab.New()
+	for i := 0; i < 100; i++ {
+		tab = tab.Add(fmt.Sprintf("name%d", i), i)
+	}
+	if tab.Len() != 100 {
+		t.Fatalf("len = %d, want 100", tab.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := tab.Lookup(fmt.Sprintf("name%d", i))
+		if !ok || v != i {
+			t.Fatalf("Lookup(name%d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := tab.Lookup("missing"); ok {
+		t.Error("found a binding that was never added")
+	}
+}
+
+func TestApplicativeUpdate(t *testing.T) {
+	// The paper's requirement: st_add returns a table identical to its
+	// input except for the new binding; the old version stays usable.
+	v1 := symtab.New().Add("x", 1).Add("y", 2)
+	v2 := v1.Add("x", 10) // shadow
+	if v, _ := v1.Lookup("x"); v != 1 {
+		t.Errorf("old version changed: x = %v", v)
+	}
+	if v, _ := v2.Lookup("x"); v != 10 {
+		t.Errorf("new version wrong: x = %v", v)
+	}
+	if v1.Len() != 2 || v2.Len() != 2 {
+		t.Errorf("shadowing changed sizes: %d, %d", v1.Len(), v2.Len())
+	}
+}
+
+func TestBalancedDepth(t *testing.T) {
+	// Hash-distributed keys keep the tree near log2(n) deep (§4.3).
+	tab := symtab.New()
+	n := 1024
+	for i := 0; i < n; i++ {
+		tab = tab.Add(fmt.Sprintf("identifier_%04d", i), i)
+	}
+	// Random BSTs average ~3·log2(n) deep with visible variance; the
+	// point is that hashing avoids the O(n) degeneration of inserting
+	// sorted identifiers directly.
+	maxDepth := int(8 * math.Log2(float64(n)))
+	if d := tab.Depth(); d > maxDepth {
+		t.Errorf("depth %d for %d sorted-name inserts, want <= %d (hashing should balance)", d, n, maxDepth)
+	}
+}
+
+func TestFromEntriesBalanced(t *testing.T) {
+	// Rebuilding from sorted entries must NOT degenerate (the network
+	// decode path).
+	tab := symtab.New()
+	n := 512
+	for i := 0; i < n; i++ {
+		tab = tab.Add(fmt.Sprintf("v%d", i), i)
+	}
+	rebuilt := symtab.FromEntries(tab.Entries())
+	if rebuilt.Len() != n {
+		t.Fatalf("rebuilt len = %d, want %d", rebuilt.Len(), n)
+	}
+	if d := rebuilt.Depth(); d > 2*int(math.Log2(float64(n)))+2 {
+		t.Errorf("rebuilt depth %d, want near log2(%d)=%d (median-split build)", d, n, int(math.Log2(float64(n))))
+	}
+	for i := 0; i < n; i++ {
+		v, ok := rebuilt.Lookup(fmt.Sprintf("v%d", i))
+		if !ok || v != i {
+			t.Fatalf("rebuilt Lookup(v%d) = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestEntriesRoundTripProperty(t *testing.T) {
+	// Property: for any set of names, Entries/FromEntries preserves all
+	// bindings.
+	f := func(names []string) bool {
+		tab := symtab.New()
+		want := map[string]int{}
+		for i, n := range names {
+			tab = tab.Add(n, i)
+			want[n] = i
+		}
+		rebuilt := symtab.FromEntries(tab.Entries())
+		if rebuilt.Len() != len(want) {
+			return false
+		}
+		for n, v := range want {
+			got, ok := rebuilt.Lookup(n)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupNeverInventsProperty(t *testing.T) {
+	// Property: Lookup finds exactly the added names.
+	f := func(added []string, probe string) bool {
+		tab := symtab.New()
+		want := false
+		for _, n := range added {
+			tab = tab.Add(n, n)
+			if n == probe {
+				want = true
+			}
+		}
+		_, ok := tab.Lookup(probe)
+		return ok == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package trace records the activity of simulated machines — busy
+// intervals, message transmissions, and phase marks — and renders them
+// as the ASCII equivalent of paper Figure 6 ("Behavior of Combined
+// Evaluator"): one horizontal line per evaluator, thick where the
+// machine is active, thin where it is idle.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one busy interval of a process.
+type Span struct {
+	Proc  string
+	Start time.Duration
+	End   time.Duration
+	Label string
+}
+
+// Arrow is one message: sent by From at Sent, delivered to To at
+// Arrived, carrying Size bytes.
+type Arrow struct {
+	From    string
+	To      string
+	Sent    time.Duration
+	Arrived time.Duration
+	Size    int
+	Label   string
+}
+
+// Mark is a named instant on a process line (e.g. "symtab done").
+type Mark struct {
+	Proc  string
+	At    time.Duration
+	Label string
+}
+
+// Trace accumulates simulation activity.
+type Trace struct {
+	Spans  []Span
+	Arrows []Arrow
+	Marks  []Mark
+	End    time.Duration
+}
+
+// AddSpan records a busy interval.
+func (t *Trace) AddSpan(proc string, start, end time.Duration, label string) {
+	if end > t.End {
+		t.End = end
+	}
+	t.Spans = append(t.Spans, Span{Proc: proc, Start: start, End: end, Label: label})
+}
+
+// AddArrow records a message transmission.
+func (t *Trace) AddArrow(from, to string, sent, arrived time.Duration, size int, label string) {
+	if arrived > t.End {
+		t.End = arrived
+	}
+	t.Arrows = append(t.Arrows, Arrow{From: from, To: to, Sent: sent, Arrived: arrived, Size: size, Label: label})
+}
+
+// AddMark records a named instant.
+func (t *Trace) AddMark(proc string, at time.Duration, label string) {
+	t.Marks = append(t.Marks, Mark{Proc: proc, At: at, Label: label})
+}
+
+// Procs returns the process names in first-appearance order.
+func (t *Trace) Procs() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if p != "" && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, s := range t.Spans {
+		add(s.Proc)
+	}
+	for _, a := range t.Arrows {
+		add(a.From)
+		add(a.To)
+	}
+	return out
+}
+
+// BusyTime returns the total busy time of proc.
+func (t *Trace) BusyTime(proc string) time.Duration {
+	var total time.Duration
+	for _, s := range t.Spans {
+		if s.Proc == proc {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}
+
+// BusyIn returns proc's busy time within [from, to).
+func (t *Trace) BusyIn(proc string, from, to time.Duration) time.Duration {
+	var total time.Duration
+	for _, s := range t.Spans {
+		if s.Proc != proc {
+			continue
+		}
+		lo, hi := s.Start, s.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// Concurrency returns the average number of simultaneously busy
+// processes (among procs) within [from, to).
+func (t *Trace) Concurrency(procs []string, from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	var total time.Duration
+	for _, p := range procs {
+		total += t.BusyIn(p, from, to)
+	}
+	return float64(total) / float64(to-from)
+}
+
+// MarkTime returns the earliest mark with the given label, or -1.
+func (t *Trace) MarkTime(label string) time.Duration {
+	best := time.Duration(-1)
+	for _, m := range t.Marks {
+		if m.Label == label && (best < 0 || m.At < best) {
+			best = m.At
+		}
+	}
+	return best
+}
+
+// LastMarkTime returns the latest mark with the given label, or -1.
+func (t *Trace) LastMarkTime(label string) time.Duration {
+	best := time.Duration(-1)
+	for _, m := range t.Marks {
+		if m.Label == label && m.At > best {
+			best = m.At
+		}
+	}
+	return best
+}
+
+// Gantt renders the trace as an ASCII chart of the given width. Busy
+// periods print as '#', idle as '.', marks as '|'; the time axis is
+// printed underneath.
+func (t *Trace) Gantt(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	procs := t.Procs()
+	if len(procs) == 0 || t.End <= 0 {
+		return "(empty trace)\n"
+	}
+	nameW := 0
+	for _, p := range procs {
+		if len(p) > nameW {
+			nameW = len(p)
+		}
+	}
+	col := func(at time.Duration) int {
+		c := int(int64(at) * int64(width-1) / int64(t.End))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	for _, p := range procs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.Spans {
+			if s.Proc != p {
+				continue
+			}
+			for i := col(s.Start); i <= col(s.End-1) && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		for _, m := range t.Marks {
+			if m.Proc == p {
+				row[col(m.At)] = '|'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s\n", nameW, p, row)
+	}
+	fmt.Fprintf(&b, "%-*s %s\n", nameW, "", timeAxis(width, t.End))
+	if len(t.Marks) > 0 {
+		marks := append([]Mark(nil), t.Marks...)
+		sort.Slice(marks, func(i, j int) bool { return marks[i].At < marks[j].At })
+		for _, m := range marks {
+			fmt.Fprintf(&b, "  | %-8s %s: %s\n", m.At.Round(time.Millisecond), m.Proc, m.Label)
+		}
+	}
+	return b.String()
+}
+
+func timeAxis(width int, end time.Duration) string {
+	axis := make([]byte, width)
+	for i := range axis {
+		axis[i] = '-'
+	}
+	label := fmt.Sprintf("0 .. %s", end.Round(time.Millisecond))
+	if len(label) < width {
+		copy(axis, label)
+	}
+	return string(axis)
+}

@@ -1,0 +1,112 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pag/internal/trace"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func sampleTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	tr.AddSpan("a", ms(0), ms(10), "")
+	tr.AddSpan("a", ms(20), ms(30), "")
+	tr.AddSpan("b", ms(5), ms(25), "")
+	tr.AddArrow("a", "b", ms(10), ms(12), 100, "attr")
+	tr.AddMark("a", ms(10), "sent")
+	tr.AddMark("b", ms(12), "got")
+	return tr
+}
+
+func TestBusyTime(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.BusyTime("a"); got != ms(20) {
+		t.Errorf("BusyTime(a) = %v, want 20ms", got)
+	}
+	if got := tr.BusyTime("b"); got != ms(20) {
+		t.Errorf("BusyTime(b) = %v, want 20ms", got)
+	}
+	if got := tr.BusyTime("nope"); got != 0 {
+		t.Errorf("BusyTime(nope) = %v", got)
+	}
+}
+
+func TestBusyInClipsIntervals(t *testing.T) {
+	tr := sampleTrace()
+	// Window [5, 25): a contributes [5,10)+[20,25)=10ms; b all 20ms.
+	if got := tr.BusyIn("a", ms(5), ms(25)); got != ms(10) {
+		t.Errorf("BusyIn(a) = %v, want 10ms", got)
+	}
+	if got := tr.BusyIn("b", ms(5), ms(25)); got != ms(20) {
+		t.Errorf("BusyIn(b) = %v, want 20ms", got)
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	tr := sampleTrace()
+	// Over [0, 30): a busy 20, b busy 20 => 40/30 = 1.33.
+	got := tr.Concurrency([]string{"a", "b"}, 0, ms(30))
+	if got < 1.32 || got > 1.35 {
+		t.Errorf("Concurrency = %.3f, want ~1.33", got)
+	}
+	if c := tr.Concurrency(nil, 0, ms(30)); c != 0 {
+		t.Errorf("no procs => %v", c)
+	}
+	if c := tr.Concurrency([]string{"a"}, ms(10), ms(10)); c != 0 {
+		t.Errorf("empty window => %v", c)
+	}
+}
+
+func TestMarks(t *testing.T) {
+	tr := sampleTrace()
+	if tr.MarkTime("sent") != ms(10) {
+		t.Errorf("MarkTime(sent) = %v", tr.MarkTime("sent"))
+	}
+	if tr.MarkTime("missing") != -1 {
+		t.Error("missing mark should be -1")
+	}
+	tr.AddMark("a", ms(28), "sent")
+	if tr.MarkTime("sent") != ms(10) || tr.LastMarkTime("sent") != ms(28) {
+		t.Error("first/last mark selection wrong")
+	}
+}
+
+func TestProcsOrder(t *testing.T) {
+	tr := sampleTrace()
+	procs := tr.Procs()
+	if len(procs) != 2 || procs[0] != "a" || procs[1] != "b" {
+		t.Errorf("Procs = %v, want [a b] in first-appearance order", procs)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := sampleTrace()
+	g := tr.Gantt(60)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("Gantt too short:\n%s", g)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "#") {
+		t.Errorf("row a missing busy cells: %q", lines[0])
+	}
+	if !strings.Contains(g, "sent") || !strings.Contains(g, "got") {
+		t.Error("mark legend missing")
+	}
+	// Empty trace renders gracefully.
+	empty := (&trace.Trace{}).Gantt(40)
+	if !strings.Contains(empty, "empty") {
+		t.Errorf("empty trace rendering: %q", empty)
+	}
+}
+
+func TestEndTracksLatestEvent(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.AddSpan("x", 0, ms(7), "")
+	tr.AddArrow("x", "y", ms(7), ms(15), 1, "")
+	if tr.End != ms(15) {
+		t.Errorf("End = %v, want 15ms", tr.End)
+	}
+}

@@ -1,0 +1,142 @@
+package tree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pag/internal/ag"
+)
+
+// TerminalAttrs recomputes the scanner-supplied attribute values of a
+// terminal from its lexeme; it is the language front end's lexical
+// value function, needed when a linearized subtree is reconstructed on
+// another machine.
+type TerminalAttrs func(sym *ag.Symbol, token string) ([]ag.Value, error)
+
+const (
+	tagInterior byte = 1
+	tagTerminal byte = 2
+	tagRemote   byte = 3
+)
+
+// Encode linearizes the subtree for transmission over the network
+// ("the linearized form received over the network", paper §2.4).
+// Attribute values are not included: the receiving evaluator recomputes
+// them; only scanner lexemes travel with the tree.
+func Encode(n *Node) []byte {
+	var buf []byte
+	var enc func(n *Node)
+	enc = func(n *Node) {
+		switch {
+		case n.Remote:
+			buf = append(buf, tagRemote)
+			buf = binary.AppendUvarint(buf, uint64(n.Sym.Index))
+			buf = binary.AppendUvarint(buf, uint64(n.RemoteID))
+		case n.Sym.Terminal:
+			buf = append(buf, tagTerminal)
+			buf = binary.AppendUvarint(buf, uint64(n.Sym.Index))
+			buf = binary.AppendUvarint(buf, uint64(len(n.Token)))
+			buf = append(buf, n.Token...)
+		default:
+			buf = append(buf, tagInterior)
+			buf = binary.AppendUvarint(buf, uint64(n.Prod.Index))
+			for _, c := range n.Children {
+				enc(c)
+			}
+		}
+	}
+	enc(n)
+	return buf
+}
+
+// Decode reconstructs a subtree from its linearized form. lex supplies
+// terminal attribute values; a nil lex leaves terminal attributes zero.
+func Decode(g *ag.Grammar, data []byte, lex TerminalAttrs) (*Node, error) {
+	pos := 0
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("tree: truncated varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	var dec func() (*Node, error)
+	dec = func() (*Node, error) {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("tree: truncated encoding at offset %d", pos)
+		}
+		tag := data[pos]
+		pos++
+		switch tag {
+		case tagRemote:
+			si, err := uvarint()
+			if err != nil {
+				return nil, err
+			}
+			id, err := uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if si >= uint64(len(g.Symbols)) {
+				return nil, fmt.Errorf("tree: symbol index %d out of range", si)
+			}
+			return newRemote(g.Symbols[si], int(id)), nil
+		case tagTerminal:
+			si, err := uvarint()
+			if err != nil {
+				return nil, err
+			}
+			ln, err := uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if si >= uint64(len(g.Symbols)) {
+				return nil, fmt.Errorf("tree: symbol index %d out of range", si)
+			}
+			if pos+int(ln) > len(data) {
+				return nil, fmt.Errorf("tree: truncated token at offset %d", pos)
+			}
+			sym := g.Symbols[si]
+			tok := string(data[pos : pos+int(ln)])
+			pos += int(ln)
+			n := NewTerminal(sym, tok)
+			if lex != nil {
+				vals, err := lex(sym, tok)
+				if err != nil {
+					return nil, fmt.Errorf("tree: terminal %s %q: %w", sym, tok, err)
+				}
+				copy(n.Attrs, vals)
+			}
+			return n, nil
+		case tagInterior:
+			pi, err := uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if pi >= uint64(len(g.Prods)) {
+				return nil, fmt.Errorf("tree: production index %d out of range", pi)
+			}
+			p := g.Prods[pi]
+			children := make([]*Node, len(p.RHS))
+			for i := range children {
+				c, err := dec()
+				if err != nil {
+					return nil, err
+				}
+				children[i] = c
+			}
+			return New(p, children...), nil
+		default:
+			return nil, fmt.Errorf("tree: bad tag %d at offset %d", tag, pos-1)
+		}
+	}
+	n, err := dec()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("tree: %d trailing bytes", len(data)-pos)
+	}
+	return n, nil
+}

@@ -1,0 +1,168 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fragment is one separately evaluated piece of a decomposed parse
+// tree. Fragment 0 is the root fragment (it contains the tree root);
+// every other fragment hangs off a remote leaf of its parent fragment.
+// Fragments form the process tree of paper Figures 6–7.
+type Fragment struct {
+	ID     int
+	Parent int // parent fragment ID; -1 for the root fragment
+	Root   *Node
+}
+
+// Decomposition is the result of splitting a parse tree.
+type Decomposition struct {
+	Frags []*Fragment
+}
+
+// NumFragments returns the number of fragments.
+func (d *Decomposition) NumFragments() int { return len(d.Frags) }
+
+// Children returns the IDs of the fragments directly below fragment id.
+func (d *Decomposition) Children(id int) []int {
+	var out []int
+	for _, f := range d.Frags {
+		if f.Parent == id {
+			out = append(out, f.ID)
+		}
+	}
+	return out
+}
+
+// Sizes returns the linearized size of every fragment (after cuts).
+func (d *Decomposition) Sizes() []int {
+	out := make([]int, len(d.Frags))
+	for i, f := range d.Frags {
+		out[i] = f.Root.Size()
+	}
+	return out
+}
+
+// Balance returns max/mean of the fragment sizes (1.0 = perfectly
+// even); it quantifies the paper's §4.1 observation that the best
+// machine count is the one whose decomposition is most even.
+func (d *Decomposition) Balance() float64 {
+	sizes := d.Sizes()
+	if len(sizes) == 0 {
+		return 1
+	}
+	max, sum := 0, 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+		sum += s
+	}
+	mean := float64(sum) / float64(len(sizes))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}
+
+// shallowSize is the linearized size contribution of the node itself,
+// excluding children.
+func shallowSize(n *Node) int {
+	switch {
+	case n.Remote:
+		return 4
+	case n.Sym.Terminal:
+		return 3 + len(n.Token)
+	default:
+		return 2
+	}
+}
+
+// Decompose splits the tree rooted at root into at most maxFrags
+// fragments by cutting at split-eligible nonterminals (the `split`
+// declarations of the grammar). granularity is the target fragment
+// size in linearized bytes — the parser's runtime scaling argument of
+// paper §2.5: a fragment accumulates roughly granularity bytes and the
+// remainder is cut off into a new fragment at the next eligible node.
+// Cut subtrees must also meet the grammar's per-symbol MinSplitSize.
+//
+// The tree is mutated: cut subtrees are replaced by remote leaves.
+// Decompose(root, _, 1) performs no cuts.
+func Decompose(root *Node, granularity, maxFrags int) *Decomposition {
+	d := &Decomposition{}
+	d.Frags = append(d.Frags, &Fragment{ID: 0, Parent: -1, Root: root})
+	if maxFrags <= 1 {
+		return d
+	}
+	root.Size() // populate size caches before any cuts
+	if granularity < 8 {
+		granularity = 8
+	}
+	// rem[f] is the size fragment f still retains; a subtree is cut off
+	// only while the fragment keeps at least one granularity's worth of
+	// work for itself, so left-recursive declaration and statement
+	// lists decompose into a chain of roughly granularity-sized pieces
+	// (the shape of paper Figure 7).
+	rem := []int{root.Size()}
+	var walk func(n *Node, frag int)
+	walk = func(n *Node, frag int) {
+		for i, c := range n.Children {
+			floor := c.Sym.MinSplitSize
+			if g := granularity / 5; g > floor {
+				floor = g
+			}
+			if len(d.Frags) < maxFrags &&
+				!c.Remote && !c.Sym.Terminal && c.Sym.Split &&
+				c.Size() >= floor && rem[frag]-c.Size() >= granularity {
+				f := &Fragment{ID: len(d.Frags), Parent: frag, Root: c}
+				d.Frags = append(d.Frags, f)
+				rem[frag] -= c.Size()
+				rem = append(rem, c.Size())
+				n.Children[i] = newRemote(c.Sym, f.ID)
+				walk(c, f.ID)
+			} else {
+				walk(c, frag)
+			}
+		}
+	}
+	walk(root, 0)
+	// Cuts invalidate cached sizes (remote leaves are smaller than the
+	// subtrees they replace); recompute per fragment.
+	for _, f := range d.Frags {
+		f.Root.invalidateSizes()
+		f.Root.Size()
+	}
+	return d
+}
+
+// GranularityFor picks a split threshold aimed at producing
+// approximately machines fragments of roughly equal size: the total
+// linearized size divided by the machine count (clamped to a small
+// floor so pathological inputs are not shredded).
+func GranularityFor(root *Node, machines int) int {
+	if machines <= 1 {
+		return root.Size() + 1
+	}
+	g := root.Size() / machines
+	if g < 16 {
+		g = 16
+	}
+	return g
+}
+
+// Describe renders the process tree with fragment sizes, labelling
+// fragments a, b, c, ... in ID order as in paper Figure 7.
+func (d *Decomposition) Describe() string {
+	var b strings.Builder
+	var rec func(id, depth int)
+	rec = func(id, depth int) {
+		f := d.Frags[id]
+		fmt.Fprintf(&b, "%s%c: %s (%d bytes)\n",
+			strings.Repeat("  ", depth), 'a'+id, f.Root.Sym.Name, f.Root.Size())
+		for _, c := range d.Children(id) {
+			rec(c, depth+1)
+		}
+	}
+	rec(0, 0)
+	return b.String()
+}

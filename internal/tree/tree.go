@@ -1,0 +1,193 @@
+// Package tree implements attributed parse trees for the parallel
+// attribute grammar evaluator: construction, linearization for network
+// transmission, decomposition into separately evaluated subtrees (the
+// parser-side splitting of paper §2.1/§2.5), and spine marking for the
+// combined evaluator (paper §2.4).
+package tree
+
+import (
+	"fmt"
+
+	"pag/internal/ag"
+)
+
+// Node is one parse-tree node. Exactly one of the following holds:
+//
+//   - interior node: Prod != nil, Children matches Prod.RHS;
+//   - terminal leaf: Sym.Terminal, Token holds the lexeme and Attrs the
+//     scanner-supplied attribute values;
+//   - remote leaf: Remote is true; the node stands for a subtree that
+//     is evaluated by another machine (fragment RemoteID). Its
+//     synthesized attributes arrive over the network; its inherited
+//     attributes are computed locally and shipped out.
+type Node struct {
+	Sym      *ag.Symbol
+	Prod     *ag.Production
+	Children []*Node
+	Attrs    []ag.Value
+	Token    string
+
+	Remote   bool
+	RemoteID int
+
+	size int // cached linearized size, bytes
+}
+
+// New creates an interior node for production p with the given
+// children. The child count must match the production arity.
+func New(p *ag.Production, children ...*Node) *Node {
+	if len(children) != len(p.RHS) {
+		panic(fmt.Sprintf("tree: production %s expects %d children, got %d", p, len(p.RHS), len(children)))
+	}
+	for i, c := range children {
+		if c.Sym != p.RHS[i] {
+			panic(fmt.Sprintf("tree: production %s child %d: want %s, got %s", p, i, p.RHS[i], c.Sym))
+		}
+	}
+	return &Node{
+		Sym:      p.LHS,
+		Prod:     p,
+		Children: children,
+		Attrs:    make([]ag.Value, len(p.LHS.Attrs)),
+	}
+}
+
+// NewTerminal creates a terminal leaf with scanner-supplied attribute
+// values (in attribute declaration order).
+func NewTerminal(sym *ag.Symbol, token string, attrs ...ag.Value) *Node {
+	if !sym.Terminal {
+		panic(fmt.Sprintf("tree: NewTerminal on nonterminal %s", sym))
+	}
+	vals := make([]ag.Value, len(sym.Attrs))
+	copy(vals, attrs)
+	return &Node{Sym: sym, Token: token, Attrs: vals}
+}
+
+// newRemote creates a remote-leaf placeholder for fragment id.
+func newRemote(sym *ag.Symbol, id int) *Node {
+	return &Node{Sym: sym, Remote: true, RemoteID: id, Attrs: make([]ag.Value, len(sym.Attrs))}
+}
+
+// Size returns the linearized size of the subtree in bytes (the metric
+// the parser compares against the grammar's minimum split sizes). The
+// value is computed once and cached.
+func (n *Node) Size() int {
+	if n.size == 0 {
+		s := 2 // node tag + production/symbol index
+		switch {
+		case n.Remote:
+			s = 4
+		case n.Sym.Terminal:
+			s = 3 + len(n.Token)
+		default:
+			for _, c := range n.Children {
+				s += c.Size()
+			}
+		}
+		n.size = s
+	}
+	return n.size
+}
+
+// invalidateSizes clears cached sizes in the subtree.
+func (n *Node) invalidateSizes() {
+	n.size = 0
+	for _, c := range n.Children {
+		c.invalidateSizes()
+	}
+}
+
+// Count returns the number of nodes in the subtree.
+func (n *Node) Count() int {
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.Count()
+	}
+	return c
+}
+
+// CountAttrs returns the number of attribute instances in the subtree
+// (remote leaves contribute their interface attributes).
+func (n *Node) CountAttrs() int {
+	c := len(n.Attrs)
+	for _, ch := range n.Children {
+		c += ch.CountAttrs()
+	}
+	return c
+}
+
+// Walk calls f on every node of the subtree in preorder.
+func (n *Node) Walk(f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// Clone deep-copies the subtree (attribute values are shared; they are
+// immutable by the purity requirement on semantic rules).
+func (n *Node) Clone() *Node {
+	nn := &Node{
+		Sym:      n.Sym,
+		Prod:     n.Prod,
+		Token:    n.Token,
+		Remote:   n.Remote,
+		RemoteID: n.RemoteID,
+		Attrs:    make([]ag.Value, len(n.Attrs)),
+	}
+	copy(nn.Attrs, n.Attrs)
+	if len(n.Children) > 0 {
+		nn.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			nn.Children[i] = c.Clone()
+		}
+	}
+	return nn
+}
+
+// Spine returns the set of nodes lying on a path from root to some
+// remote leaf, including root itself if any remote leaf exists. These
+// are exactly the nodes the combined evaluator processes dynamically
+// (paper §2.4); all other nodes are evaluated by static visits.
+func Spine(root *Node) map[*Node]bool {
+	spine := make(map[*Node]bool)
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n.Remote {
+			return true
+		}
+		onSpine := false
+		for _, c := range n.Children {
+			if walk(c) {
+				onSpine = true
+			}
+		}
+		if onSpine {
+			spine[n] = true
+		}
+		return onSpine
+	}
+	walk(root)
+	return spine
+}
+
+// Equal reports structural equality of two subtrees including attribute
+// values compared with ==(comparable) or fmt-formatting fallback.
+func Equal(a, b *Node) bool {
+	if a.Sym != b.Sym || a.Prod != b.Prod || a.Token != b.Token ||
+		a.Remote != b.Remote || a.RemoteID != b.RemoteID ||
+		len(a.Children) != len(b.Children) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if fmt.Sprint(a.Attrs[i]) != fmt.Sprint(b.Attrs[i]) {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

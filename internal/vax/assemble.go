@@ -1,0 +1,275 @@
+package vax
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a two-pass assembler for the compiler's output.
+// The paper (§4.1) proposes integrating assembly into the parallel
+// compiler so that the far more compact machine language, rather than
+// assembly text, travels over the network; Assemble provides the
+// machine-code form. The encoding follows the VAX operand-specifier
+// scheme (register 5x, displacement Ax/Ex, literal 0x, immediate 8F)
+// with synthetic opcode numbers.
+
+// registers maps register names to their VAX numbers.
+var registers = map[string]byte{
+	"r0": 0, "r1": 1, "r2": 2, "r3": 3, "r4": 4, "r5": 5,
+	"r6": 6, "r7": 7, "r8": 8, "r9": 9, "r10": 10, "r11": 11,
+	"ap": 12, "fp": 13, "sp": 14, "pc": 15,
+}
+
+// opcodeOf assigns a deterministic synthetic opcode to each mnemonic.
+var opcodeOf = func() map[string]byte {
+	names := make([]string, 0, len(instrTable))
+	for n := range instrTable {
+		names = append(names, n)
+	}
+	// Deterministic order independent of map iteration.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	m := make(map[string]byte, len(names))
+	for i, n := range names {
+		m[n] = byte(i + 1)
+	}
+	return m
+}()
+
+// AssembleError reports an assembly failure with its line number.
+type AssembleError struct {
+	Line int
+	Msg  string
+}
+
+func (e *AssembleError) Error() string {
+	return fmt.Sprintf("vax: line %d: %s", e.Line, e.Msg)
+}
+
+// Assemble performs two-pass assembly of the text: pass one assigns
+// addresses to labels, pass two encodes instructions and data with all
+// label references resolved (branch targets as 16-bit relative
+// displacements, address references as 32-bit absolute values).
+// External symbols (the runtime's _printint etc.) assemble to address
+// zero, as a real assembler would leave them for the linker.
+func Assemble(text string) ([]byte, error) {
+	lines := strings.Split(text, "\n")
+
+	// Pass 1: label addresses.
+	labels := map[string]int{}
+	addr := 0
+	for lineNo, raw := range lines {
+		label, mnem, ops := parseLine(raw)
+		if label != "" {
+			if _, dup := labels[label]; dup {
+				return nil, &AssembleError{lineNo + 1, "duplicate label " + label}
+			}
+			labels[label] = addr
+		}
+		if mnem == "" {
+			continue
+		}
+		n, err := lineSize(mnem, ops)
+		if err != nil {
+			return nil, &AssembleError{lineNo + 1, err.Error()}
+		}
+		addr += n
+	}
+
+	// Pass 2: emit bytes.
+	var out []byte
+	for lineNo, raw := range lines {
+		_, mnem, ops := parseLine(raw)
+		if mnem == "" {
+			continue
+		}
+		if spec, ok := instrTable[mnem]; ok {
+			if len(ops) != spec.operands {
+				return nil, &AssembleError{lineNo + 1,
+					fmt.Sprintf("%s takes %d operand(s), got %d", mnem, spec.operands, len(ops))}
+			}
+			out = append(out, opcodeOf[mnem])
+			if spec.opBytes == 2 {
+				out = append(out, 0xFD) // extended-opcode prefix
+			}
+			pcAfter := len(out)
+			for _, op := range ops {
+				enc, err := encodeOperand(op, labels, isBranch(mnem), pcAfter)
+				if err != nil {
+					return nil, &AssembleError{lineNo + 1, err.Error()}
+				}
+				out = append(out, enc...)
+			}
+			continue
+		}
+		data, err := encodeDirective(mnem, ops)
+		if err != nil {
+			return nil, &AssembleError{lineNo + 1, err.Error()}
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+func isBranch(mnem string) bool {
+	switch mnem {
+	case "beql", "bneq", "blss", "bleq", "bgtr", "bgeq", "brb", "brw", "jmp":
+		return true
+	}
+	return false
+}
+
+// lineSize returns the encoded size of one instruction or directive
+// line (used by pass 1; must agree with pass 2's emission).
+func lineSize(mnem string, ops []string) (int, error) {
+	if spec, ok := instrTable[mnem]; ok {
+		n := spec.opBytes
+		for _, op := range ops {
+			n += operandBytes(op)
+		}
+		return n, nil
+	}
+	data, err := encodeDirective(mnem, ops)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// encodeOperand encodes one operand specifier; pass 2's sizes must
+// match operandBytes (pass 1 and the MachineSize estimator).
+func encodeOperand(op string, labels map[string]int, branch bool, pc int) ([]byte, error) {
+	op = strings.TrimSpace(op)
+	switch {
+	case op == "":
+		return nil, fmt.Errorf("empty operand")
+	case registers[op] != 0 || op == "r0":
+		if r, ok := registers[op]; ok {
+			return []byte{0x50 | r}, nil
+		}
+		return nil, fmt.Errorf("bad register %q", op)
+	case op == "(sp)+":
+		return []byte{0x8E}, nil
+	case op == "-(sp)":
+		return []byte{0x7E}, nil
+	case strings.HasPrefix(op, "(") && strings.HasSuffix(op, ")"):
+		if r, isReg := registers[op[1:len(op)-1]]; isReg {
+			return []byte{0x60 | r}, nil // register deferred
+		}
+		return nil, fmt.Errorf("bad deferred operand %q", op)
+	case strings.HasPrefix(op, "$"):
+		n, err := strconv.Atoi(op[1:])
+		if err != nil {
+			return nil, fmt.Errorf("bad immediate %q", op)
+		}
+		if n >= 0 && n <= 63 {
+			return []byte{byte(n)}, nil // short literal
+		}
+		buf := []byte{0x8F}
+		return binary.LittleEndian.AppendUint32(buf, uint32(int32(n))), nil
+	case strings.HasPrefix(op, "*"):
+		inner, err := encodeOperand(op[1:], labels, false, pc)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{0xB0}, inner...), nil
+	case strings.Contains(op, "("):
+		open := strings.Index(op, "(")
+		if !strings.HasSuffix(op, ")") {
+			return nil, fmt.Errorf("bad displacement operand %q", op)
+		}
+		d, err := strconv.Atoi(strings.TrimSpace(op[:open]))
+		if err != nil {
+			return nil, fmt.Errorf("bad displacement in %q", op)
+		}
+		reg, ok := registers[op[open+1:len(op)-1]]
+		if !ok {
+			return nil, fmt.Errorf("bad base register in %q", op)
+		}
+		if d >= -128 && d < 128 {
+			return []byte{0xA0 | reg, byte(int8(d))}, nil
+		}
+		buf := []byte{0xE0 | reg}
+		return binary.LittleEndian.AppendUint32(buf, uint32(int32(d))), nil
+	default:
+		// Symbolic reference: a branch displacement or an address.
+		target, known := labels[op]
+		if !known {
+			target = 0 // external symbol, left for the linker
+		}
+		if branch {
+			rel := target - pc
+			return binary.LittleEndian.AppendUint16(nil, uint16(int16(rel))), nil
+		}
+		// Non-branch symbolic operands (calls targets, pushab S1) use a
+		// 16-bit address field in our compact encoding, matching the
+		// 2-byte estimate of the size assembler.
+		return binary.LittleEndian.AppendUint16(nil, uint16(target)), nil
+	}
+}
+
+// encodeDirective emits data-directive bytes.
+func encodeDirective(mnem string, ops []string) ([]byte, error) {
+	switch mnem {
+	case ".text", ".data", ".globl", ".align", ".set":
+		return nil, nil
+	case ".long":
+		var out []byte
+		for _, op := range ops {
+			n, err := strconv.Atoi(strings.TrimSpace(op))
+			if err != nil {
+				return nil, fmt.Errorf("bad .long value %q", op)
+			}
+			out = binary.LittleEndian.AppendUint32(out, uint32(int32(n)))
+		}
+		return out, nil
+	case ".word":
+		var out []byte
+		for _, op := range ops {
+			n, err := strconv.Atoi(strings.TrimSpace(op))
+			if err != nil {
+				return nil, fmt.Errorf("bad .word value %q", op)
+			}
+			out = binary.LittleEndian.AppendUint16(out, uint16(int16(n)))
+		}
+		return out, nil
+	case ".byte":
+		var out []byte
+		for _, op := range ops {
+			n, err := strconv.Atoi(strings.TrimSpace(op))
+			if err != nil {
+				return nil, fmt.Errorf("bad .byte value %q", op)
+			}
+			out = append(out, byte(n))
+		}
+		return out, nil
+	case ".asciz", ".ascii":
+		var out []byte
+		for _, op := range ops {
+			s := strings.Trim(strings.TrimSpace(op), `"`)
+			out = append(out, s...)
+			if mnem == ".asciz" {
+				out = append(out, 0)
+			}
+		}
+		return out, nil
+	case ".space":
+		if len(ops) == 0 {
+			return nil, fmt.Errorf(".space needs a size")
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(ops[0]))
+		if err != nil {
+			return nil, fmt.Errorf("bad .space size %q", ops[0])
+		}
+		return make([]byte, n), nil
+	default:
+		return nil, fmt.Errorf("unknown directive or instruction %q", mnem)
+	}
+}

@@ -1,0 +1,107 @@
+package vax_test
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/vax"
+)
+
+func TestAssembleSample(t *testing.T) {
+	code, err := vax.Assemble(sample)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(code) == 0 {
+		t.Fatal("no machine code produced")
+	}
+	// The two passes must agree with the size estimator exactly.
+	if want := vax.MachineSize(sample); len(code) != want {
+		t.Errorf("assembled %d bytes, size estimator says %d", len(code), want)
+	}
+}
+
+func TestAssembleBranchResolution(t *testing.T) {
+	src := "start:\n\tbrb start\n"
+	code, err := vax.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// opcode + 2-byte relative displacement back to offset 0.
+	if len(code) != 3 {
+		t.Fatalf("brb encoded as %d bytes, want 3", len(code))
+	}
+	// Displacement = target(0) - pc-after-opcode(1) = -1.
+	rel := int16(uint16(code[1]) | uint16(code[2])<<8)
+	if rel != -1 {
+		t.Errorf("relative displacement = %d, want -1", rel)
+	}
+}
+
+func TestAssembleForwardReference(t *testing.T) {
+	src := "\tbrb done\n\tret\ndone:\n\thalt\n"
+	if _, err := vax.Assemble(src); err != nil {
+		t.Errorf("forward reference failed: %v", err)
+	}
+}
+
+func TestAssembleExternalSymbolsLinkToZero(t *testing.T) {
+	src := "\tcalls $1, _printint\n"
+	code, err := vax.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// opcode + literal(1) + 2-byte address 0.
+	if len(code) != 4 || code[2] != 0 || code[3] != 0 {
+		t.Errorf("external call encoding = %v", code)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"x:\nx:\n\tret\n", "duplicate label"},
+		{"\tmovl r0\n", "takes 2 operand"},
+		{"\t.bogus 1\n", "unknown directive"},
+		{"\tmovl $zz, r0\n", "bad immediate"},
+		{"\tmovl 4(zz), r0\n", "bad base register"},
+	}
+	for _, tc := range cases {
+		_, err := vax.Assemble(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Assemble(%q) err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestAssembleData(t *testing.T) {
+	src := "v:\t.long 1, 2\nw:\t.word -1\nb:\t.byte 7\ns:\t.asciz \"ok\"\nz:\t.space 3\n"
+	code, err := vax.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8 + 2 + 1 + 3 + 3
+	if len(code) != want {
+		t.Errorf("data bytes = %d, want %d", len(code), want)
+	}
+	if code[0] != 1 || code[4] != 2 {
+		t.Errorf(".long encoding wrong: %v", code[:8])
+	}
+	if string(code[11:13]) != "ok" || code[13] != 0 {
+		t.Errorf(".asciz encoding wrong: %v", code[11:14])
+	}
+}
+
+func TestAssembleMuchSmallerThanText(t *testing.T) {
+	// The paper's motivation for integrated assembly: machine code is
+	// much more compact than assembly text.
+	code, err := vax.Assemble(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code)*3 >= len(sample) {
+		t.Errorf("machine code %d bytes vs text %d: expected >= 3x compaction",
+			len(code), len(sample))
+	}
+}

@@ -1,0 +1,518 @@
+package vax
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements an interpreter for the compiler's VAX assembly
+// output — the stand-in for running the generated code on VAX-11
+// hardware. It executes the assembly text directly with the CALLS
+// frame discipline the code generator assumes (argument list via ap,
+// frame via fp, callee-allocated locals, callee-popped arguments) and
+// intercepts the runtime entry points (_printint, _printstr, ...), so
+// tests can compile a Pascal program, run it, and compare its output
+// against the language's semantics.
+
+// Emulator executes assembly text.
+type Emulator struct {
+	// Input supplies values for _readint, front to back.
+	Input []int
+	// MaxSteps bounds execution (guards against runaway loops).
+	MaxSteps int
+
+	mem     map[int32]int32 // longword memory, byte-addressed
+	strMem  map[int32]byte  // data section bytes (.asciz)
+	reg     [16]int32       // r0..r11, ap, fp, sp, pc(unused)
+	nlt     bool            // last comparison: less than
+	neq     bool            // last comparison: equal
+	out     strings.Builder
+	labels  map[string]int // label -> instruction index
+	data    map[string]int32
+	instrs  []emuInstr
+	depth   int
+	nextStr int32
+}
+
+const (
+	regAP = 12
+	regFP = 13
+	regSP = 14
+
+	stackTop = 0x40000 // initial sp (grows down)
+	dataBase = 0x80000 // synthetic addresses for .asciz data
+)
+
+type emuInstr struct {
+	mnem string
+	ops  []string
+	line int
+}
+
+// EmuError reports an execution failure.
+type EmuError struct {
+	Line int
+	Msg  string
+}
+
+func (e *EmuError) Error() string { return fmt.Sprintf("vax emu: line %d: %s", e.Line, e.Msg) }
+
+// NewEmulator loads the assembly text.
+func NewEmulator(text string) (*Emulator, error) {
+	e := &Emulator{
+		MaxSteps: 20_000_000,
+		mem:      map[int32]int32{},
+		strMem:   map[int32]byte{},
+		labels:   map[string]int{},
+		data:     map[string]int32{},
+		nextStr:  dataBase,
+	}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		label, mnem, ops := parseLine(raw)
+		if label != "" {
+			if _, dup := e.labels[label]; dup {
+				return nil, &EmuError{lineNo + 1, "duplicate label " + label}
+			}
+			e.labels[label] = len(e.instrs)
+			e.data[label] = e.nextStr // provisional; data directives fill bytes
+		}
+		if mnem == "" {
+			continue
+		}
+		if strings.HasPrefix(mnem, ".") {
+			if mnem == ".asciz" || mnem == ".ascii" {
+				addr := e.nextStr
+				if label != "" {
+					e.data[label] = addr
+				}
+				for _, op := range ops {
+					s := strings.Trim(strings.TrimSpace(op), `"`)
+					s = strings.ReplaceAll(s, `\n`, "\n")
+					s = strings.ReplaceAll(s, `\t`, "\t")
+					s = strings.ReplaceAll(s, `\\`, `\`)
+					s = strings.ReplaceAll(s, `\"`, `"`)
+					for i := 0; i < len(s); i++ {
+						e.strMem[e.nextStr] = s[i]
+						e.nextStr++
+					}
+				}
+				if mnem == ".asciz" {
+					e.strMem[e.nextStr] = 0
+					e.nextStr++
+				}
+			}
+			continue
+		}
+		e.instrs = append(e.instrs, emuInstr{mnem: mnem, ops: ops, line: lineNo + 1})
+	}
+	return e, nil
+}
+
+// Run executes from _main until its ret and returns the program output.
+func (e *Emulator) Run() (string, error) {
+	start, ok := e.labels["_main"]
+	if !ok {
+		return "", fmt.Errorf("vax emu: no _main entry point")
+	}
+	e.reg[regSP] = stackTop
+	// Frame for main as if reached via `calls $0, _main`.
+	e.push(0)  // argument count
+	e.push(0)  // saved ap
+	e.push(0)  // saved fp
+	e.push(-1) // saved pc: sentinel return
+	e.reg[regAP] = e.reg[regSP] + 12
+	e.reg[regFP] = e.reg[regSP]
+	e.depth = 1
+
+	pc := start
+	for steps := 0; ; steps++ {
+		if steps > e.MaxSteps {
+			return e.out.String(), fmt.Errorf("vax emu: exceeded %d steps (infinite loop?)", e.MaxSteps)
+		}
+		if pc < 0 || pc >= len(e.instrs) {
+			return e.out.String(), fmt.Errorf("vax emu: pc %d out of range", pc)
+		}
+		in := e.instrs[pc]
+		next, err := e.step(in, pc)
+		if err != nil {
+			return e.out.String(), err
+		}
+		if next == -1 { // returned from main
+			return e.out.String(), nil
+		}
+		pc = next
+	}
+}
+
+func (e *Emulator) push(v int32) {
+	e.reg[regSP] -= 4
+	e.mem[e.reg[regSP]] = v
+}
+
+func (e *Emulator) pop() int32 {
+	v := e.mem[e.reg[regSP]]
+	e.reg[regSP] += 4
+	return v
+}
+
+// step executes one instruction and returns the next pc (or -1 when
+// main returns).
+func (e *Emulator) step(in emuInstr, pc int) (int, error) {
+	fail := func(format string, args ...any) (int, error) {
+		return 0, &EmuError{in.line, fmt.Sprintf(format, args...)}
+	}
+	rd := func(i int) (int32, error) { return e.read(in.ops[i], in.line) }
+	wr := func(i int, v int32) error { return e.write(in.ops[i], v, in.line) }
+
+	switch in.mnem {
+	case "movl", "movab", "moval":
+		v, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		if in.mnem != "movl" {
+			// moval d(reg), r: the address, not the content.
+			a, err := e.addressOf(in.ops[0], in.line)
+			if err != nil {
+				return 0, err
+			}
+			v = a
+		}
+		if err := wr(1, v); err != nil {
+			return 0, err
+		}
+	case "pushl":
+		v, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		e.push(v)
+	case "pushab", "pushal":
+		a, err := e.addressOf(in.ops[0], in.line)
+		if err != nil {
+			return 0, err
+		}
+		e.push(a)
+	case "clrl":
+		if err := wr(0, 0); err != nil {
+			return 0, err
+		}
+	case "addl2", "subl2", "mull2", "divl2", "bisl2", "bicl2", "xorl2":
+		src, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		dst, err := rd(1)
+		if err != nil {
+			return 0, err
+		}
+		v, err := alu2(in.mnem, src, dst)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := wr(1, v); err != nil {
+			return 0, err
+		}
+	case "addl3", "subl3", "mull3", "divl3", "bisl3", "bicl3", "xorl3":
+		a, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := rd(1)
+		if err != nil {
+			return 0, err
+		}
+		v, err := alu2(strings.TrimSuffix(in.mnem, "3")+"2", a, b)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := wr(2, v); err != nil {
+			return 0, err
+		}
+	case "mnegl":
+		v, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		if err := wr(1, -v); err != nil {
+			return 0, err
+		}
+	case "mcoml":
+		v, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		if err := wr(1, ^v); err != nil {
+			return 0, err
+		}
+	case "incl", "decl":
+		v, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		if in.mnem == "incl" {
+			v++
+		} else {
+			v--
+		}
+		if err := wr(0, v); err != nil {
+			return 0, err
+		}
+	case "cmpl":
+		a, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := rd(1)
+		if err != nil {
+			return 0, err
+		}
+		e.neq = a == b
+		e.nlt = a < b
+	case "tstl":
+		v, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		e.neq = v == 0
+		e.nlt = v < 0
+	case "beql", "bneq", "blss", "bleq", "bgtr", "bgeq", "brb", "brw", "jmp":
+		take := false
+		switch in.mnem {
+		case "brb", "brw", "jmp":
+			take = true
+		case "beql":
+			take = e.neq
+		case "bneq":
+			take = !e.neq
+		case "blss":
+			take = e.nlt
+		case "bleq":
+			take = e.nlt || e.neq
+		case "bgtr":
+			take = !e.nlt && !e.neq
+		case "bgeq":
+			take = !e.nlt
+		}
+		if take {
+			target, ok := e.labels[in.ops[0]]
+			if !ok {
+				return fail("unknown branch target %q", in.ops[0])
+			}
+			return target, nil
+		}
+	case "calls":
+		nArgs, err := rd(0)
+		if err != nil {
+			return 0, err
+		}
+		target := in.ops[1]
+		if out, handled, err := e.runtimeCall(target, nArgs, in.line); handled {
+			if err != nil {
+				return 0, err
+			}
+			e.out.WriteString(out)
+			e.reg[regSP] += 4 * nArgs // callee pops its arguments
+			break
+		}
+		ti, ok := e.labels[target]
+		if !ok {
+			return fail("call to unknown procedure %q", target)
+		}
+		e.push(nArgs)
+		e.push(e.reg[regAP])
+		e.push(e.reg[regFP])
+		e.push(int32(pc + 1)) // return instruction index
+		e.reg[regAP] = e.reg[regSP] + 12
+		e.reg[regFP] = e.reg[regSP]
+		e.depth++
+		return ti, nil
+	case "ret":
+		e.reg[regSP] = e.reg[regFP]
+		retPC := e.pop()
+		e.reg[regFP] = e.pop()
+		savedAP := e.pop()
+		n := e.pop()
+		e.reg[regSP] += 4 * n
+		e.reg[regAP] = savedAP
+		e.depth--
+		if e.depth == 0 || retPC == -1 {
+			return -1, nil
+		}
+		return int(retPC), nil
+	case "halt":
+		return -1, nil
+	default:
+		return fail("unimplemented instruction %q", in.mnem)
+	}
+	return pc + 1, nil
+}
+
+func alu2(op string, src, dst int32) (int32, error) {
+	switch op {
+	case "addl2":
+		return dst + src, nil
+	case "subl2":
+		return dst - src, nil
+	case "mull2":
+		return dst * src, nil
+	case "divl2":
+		if src == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return dst / src, nil
+	case "bisl2":
+		return dst | src, nil
+	case "bicl2":
+		return dst &^ src, nil
+	case "xorl2":
+		return dst ^ src, nil
+	}
+	return 0, fmt.Errorf("bad alu op %s", op)
+}
+
+// runtimeCall intercepts the compiler's runtime entry points. Arguments
+// were pushed right before the calls; arg1 is at (sp).
+func (e *Emulator) runtimeCall(name string, nArgs int32, line int) (string, bool, error) {
+	arg := func(i int32) int32 { return e.mem[e.reg[regSP]+4*i] }
+	switch name {
+	case "_printint":
+		return strconv.Itoa(int(arg(0))), true, nil
+	case "_printchar":
+		return string(rune(arg(0))), true, nil
+	case "_printbool":
+		if arg(0) != 0 {
+			return "true", true, nil
+		}
+		return "false", true, nil
+	case "_printstr":
+		addr := arg(0)
+		var b strings.Builder
+		for {
+			c, ok := e.strMem[addr]
+			if !ok || c == 0 {
+				break
+			}
+			b.WriteByte(c)
+			addr++
+		}
+		return b.String(), true, nil
+	case "_printnl":
+		return "\n", true, nil
+	case "_readint":
+		if len(e.Input) == 0 {
+			return "", true, &EmuError{line, "_readint: input exhausted"}
+		}
+		v := e.Input[0]
+		e.Input = e.Input[1:]
+		e.mem[arg(0)] = int32(v)
+		return "", true, nil
+	case "_readskip":
+		return "", true, nil
+	default:
+		return "", false, nil
+	}
+}
+
+// read evaluates an operand as a value.
+func (e *Emulator) read(op string, line int) (int32, error) {
+	op = strings.TrimSpace(op)
+	if r, ok := registers[op]; ok {
+		return e.reg[r], nil
+	}
+	switch {
+	case strings.HasPrefix(op, "$"):
+		n, err := strconv.Atoi(op[1:])
+		if err != nil {
+			return 0, &EmuError{line, "bad immediate " + op}
+		}
+		return int32(n), nil
+	case op == "(sp)+":
+		return e.pop(), nil
+	case strings.HasPrefix(op, "*"):
+		a, err := e.addressOf(op[1:], line)
+		if err != nil {
+			return 0, err
+		}
+		return e.mem[e.mem[a]], nil
+	default:
+		a, err := e.addressOf(op, line)
+		if err != nil {
+			return 0, err
+		}
+		return e.mem[a], nil
+	}
+}
+
+// write stores a value through an operand.
+func (e *Emulator) write(op string, v int32, line int) error {
+	op = strings.TrimSpace(op)
+	if r, ok := registers[op]; ok {
+		e.reg[r] = v
+		return nil
+	}
+	switch {
+	case op == "-(sp)":
+		e.push(v)
+		return nil
+	case strings.HasPrefix(op, "*"):
+		a, err := e.addressOf(op[1:], line)
+		if err != nil {
+			return err
+		}
+		e.mem[e.mem[a]] = v
+		return nil
+	case strings.HasPrefix(op, "$"):
+		return &EmuError{line, "cannot write to immediate " + op}
+	default:
+		a, err := e.addressOf(op, line)
+		if err != nil {
+			return err
+		}
+		e.mem[a] = v
+		return nil
+	}
+}
+
+// addressOf resolves a memory operand to an address.
+func (e *Emulator) addressOf(op string, line int) (int32, error) {
+	op = strings.TrimSpace(op)
+	switch {
+	case strings.HasPrefix(op, "(") && strings.HasSuffix(op, ")"):
+		r, ok := registers[op[1:len(op)-1]]
+		if !ok {
+			return 0, &EmuError{line, "bad deferred operand " + op}
+		}
+		return e.reg[r], nil
+	case strings.Contains(op, "("):
+		open := strings.Index(op, "(")
+		if !strings.HasSuffix(op, ")") {
+			return 0, &EmuError{line, "bad operand " + op}
+		}
+		d, err := strconv.Atoi(strings.TrimSpace(op[:open]))
+		if err != nil {
+			return 0, &EmuError{line, "bad displacement in " + op}
+		}
+		r, ok := registers[op[open+1:len(op)-1]]
+		if !ok {
+			return 0, &EmuError{line, "bad base register in " + op}
+		}
+		return e.reg[r] + int32(d), nil
+	default:
+		if a, ok := e.data[op]; ok {
+			return a, nil
+		}
+		return 0, &EmuError{line, "unknown symbol " + op}
+	}
+}
+
+// Execute is a convenience wrapper: load, run, return output.
+func Execute(text string, input ...int) (string, error) {
+	e, err := NewEmulator(text)
+	if err != nil {
+		return "", err
+	}
+	e.Input = input
+	return e.Run()
+}

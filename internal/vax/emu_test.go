@@ -1,0 +1,186 @@
+package vax_test
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/vax"
+)
+
+func TestEmuStraightLine(t *testing.T) {
+	src := `
+_main:
+	.word 0
+	subl2 $8, sp
+	movl $6, r0
+	mull2 $7, r0
+	pushl r0
+	calls $1, _printint
+	calls $0, _printnl
+	ret
+`
+	out, err := vax.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "42\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestEmuBranchesAndFlags(t *testing.T) {
+	src := `
+_main:
+	.word 0
+	subl2 $4, sp
+	movl $3, r0
+	cmpl r0, $5
+	blss Lyes
+	pushl $0
+	brb Lout
+Lyes:
+	pushl $1
+Lout:
+	calls $1, _printint
+	ret
+`
+	out, err := vax.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestEmuCallsFrameDiscipline(t *testing.T) {
+	// double(x) returns 2x via the function-result slot convention.
+	src := `
+_main:
+	.word 0
+	subl2 $4, sp
+	clrl -4(fp)
+	pushl $21
+	pushl fp
+	calls $2, main_double
+	pushl r0
+	calls $1, _printint
+	ret
+
+main_double:
+	.word 0
+	subl2 $12, sp
+	movl 4(ap), -4(fp)
+	movl 8(ap), -12(fp)
+	movl -12(fp), r0
+	addl2 -12(fp), r0
+	movl r0, -8(fp)
+	movl -8(fp), r0
+	ret
+`
+	out, err := vax.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "42" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestEmuStringsAndData(t *testing.T) {
+	src := `
+_main:
+	.word 0
+	subl2 $4, sp
+	pushab S1
+	calls $1, _printstr
+	calls $0, _printnl
+	ret
+	.data
+S1:	.asciz "attribute grammars"
+`
+	out, err := vax.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "attribute grammars\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestEmuReadInput(t *testing.T) {
+	src := `
+_main:
+	.word 0
+	subl2 $8, sp
+	pushal -8(fp)
+	calls $1, _readint
+	pushl -8(fp)
+	calls $1, _printint
+	ret
+`
+	out, err := vax.Execute(src, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "77" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestEmuErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-main", "\tret\n", "no _main"},
+		{"div-zero", "_main:\n\t.word 0\n\tmovl $1, r0\n\tdivl2 $0, r0\n\tret\n", "division by zero"},
+		{"input-exhausted", "_main:\n\t.word 0\n\tsubl2 $8, sp\n\tpushal -8(fp)\n\tcalls $1, _readint\n\tret\n", "input exhausted"},
+		{"bad-call", "_main:\n\t.word 0\n\tcalls $0, nowhere\n\tret\n", "unknown procedure"},
+		{"bad-branch", "_main:\n\t.word 0\n\tbrb nowhere\n\tret\n", "unknown branch target"},
+	}
+	for _, tc := range cases {
+		_, err := vax.Execute(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEmuInfiniteLoopGuard(t *testing.T) {
+	e, err := vax.NewEmulator("_main:\n\t.word 0\nL:\n\tbrb L\n\tret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MaxSteps = 1000
+	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Errorf("runaway loop not caught: %v", err)
+	}
+}
+
+func TestEmuLogicalOps(t *testing.T) {
+	// AND via mcoml+bicl2, OR via bisl2, NOT via xorl2 $1.
+	src := `
+_main:
+	.word 0
+	subl2 $4, sp
+	movl $1, r0
+	movl $0, r1
+	mcoml r1, r1
+	bicl2 r1, r0
+	pushl r0
+	calls $1, _printbool
+	movl $0, r0
+	bisl2 $1, r0
+	xorl2 $1, r0
+	pushl r0
+	calls $1, _printbool
+	ret
+`
+	out, err := vax.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "falsefalse" {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,115 @@
+package vax
+
+import "strings"
+
+// Peephole performs the paper's "limited amount of local optimization"
+// on a window of assembly text (typically one procedure body). It
+// applies a small set of classical rewrites until a fixed point:
+//
+//   - push/pop elimination:       pushl X ; movl (sp)+, Y  →  movl X, Y
+//   - self-move elimination:      movl X, X                →  (removed)
+//   - move chaining:              movl X, r0 ; movl r0, Y  →  movl X, Y
+//     (only when the next instruction overwrites r0, which our
+//     accumulator-style generator guarantees locally)
+//   - arithmetic identities:      addl2 $0, X / subl2 $0, X /
+//     mull2 $1, X / divl2 $1, X   →  (removed)
+//   - jump-to-next elimination:   brb L ; L:               →  L:
+//
+// It returns the optimized text and the number of rewrites applied.
+func Peephole(text string) (string, int) {
+	lines := strings.Split(text, "\n")
+	rewrites := 0
+	for {
+		changed := false
+		var out []string
+		i := 0
+		for i < len(lines) {
+			cur := strings.TrimSpace(lines[i])
+			next := ""
+			if i+1 < len(lines) {
+				next = strings.TrimSpace(lines[i+1])
+			}
+
+			// pushl X ; movl (sp)+, Y  →  movl X, Y
+			if x, ok := strings.CutPrefix(cur, "pushl "); ok {
+				if y, ok2 := strings.CutPrefix(next, "movl (sp)+, "); ok2 {
+					out = append(out, "\tmovl "+x+", "+y)
+					i += 2
+					rewrites++
+					changed = true
+					continue
+				}
+			}
+
+			// movl X, X → removed
+			if rest, ok := strings.CutPrefix(cur, "movl "); ok {
+				parts := splitOperands(rest)
+				if len(parts) == 2 && strings.TrimSpace(parts[0]) == strings.TrimSpace(parts[1]) {
+					i++
+					rewrites++
+					changed = true
+					continue
+				}
+			}
+
+			// movl X, r0 ; movl r0, Y → movl X, Y  (r0 dead after)
+			if x, ok := cutMoveTo(cur, "r0"); ok {
+				if y, ok2 := strings.CutPrefix(next, "movl r0, "); ok2 && !strings.Contains(x, "r0") {
+					out = append(out, "\tmovl "+x+", "+y)
+					i += 2
+					rewrites++
+					changed = true
+					continue
+				}
+			}
+
+			// arithmetic identities
+			if isIdentity(cur) {
+				i++
+				rewrites++
+				changed = true
+				continue
+			}
+
+			// brb L ; L: → L:
+			if target, ok := strings.CutPrefix(cur, "brb "); ok {
+				if strings.HasPrefix(next, strings.TrimSpace(target)+":") {
+					i++ // drop the branch, keep the label line
+					rewrites++
+					changed = true
+					continue
+				}
+			}
+
+			out = append(out, lines[i])
+			i++
+		}
+		lines = out
+		if !changed {
+			break
+		}
+	}
+	return strings.Join(lines, "\n"), rewrites
+}
+
+// cutMoveTo matches "movl X, dst" and returns X.
+func cutMoveTo(line, dst string) (string, bool) {
+	rest, ok := strings.CutPrefix(line, "movl ")
+	if !ok {
+		return "", false
+	}
+	parts := splitOperands(rest)
+	if len(parts) != 2 || strings.TrimSpace(parts[1]) != dst {
+		return "", false
+	}
+	return strings.TrimSpace(parts[0]), true
+}
+
+func isIdentity(line string) bool {
+	for _, pat := range []string{"addl2 $0, ", "subl2 $0, ", "mull2 $1, ", "divl2 $1, ", "bisl2 $0, "} {
+		if strings.HasPrefix(line, pat) {
+			return true
+		}
+	}
+	return false
+}

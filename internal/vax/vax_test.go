@@ -1,0 +1,173 @@
+package vax_test
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/vax"
+)
+
+const sample = `
+.text
+	.globl _main
+_main:
+	.word 0
+	subl2 $12, sp
+	clrl -4(fp)
+	movl $5, r0
+	movl r0, -8(fp)
+L1:
+	cmpl -8(fp), $0
+	beql L2
+	decl -8(fp)
+	brb L1
+L2:
+	pushl -8(fp)
+	calls $1, _printint
+	ret
+	.data
+S1:	.asciz "done"
+`
+
+func TestValidateAcceptsGoodCode(t *testing.T) {
+	if problems := vax.Validate(sample); len(problems) != 0 {
+		t.Errorf("valid code rejected: %v", problems)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"\tfrobnicate r0\n", "unknown instruction"},
+		{"\tmovl r0\n", "takes 2 operand"},
+		{"\tret r0\n", "takes 0 operand"},
+		{"\t.fancy 12\n", "unknown directive"},
+		{"\tcalls $1, _f, extra\n", "takes 2 operand"},
+	}
+	for _, tc := range cases {
+		problems := vax.Validate(tc.src)
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Validate(%q) = %v, want message containing %q", tc.src, problems, tc.want)
+		}
+	}
+}
+
+func TestValidateIgnoresCommentsAndLabels(t *testing.T) {
+	src := "# a comment line\nL5:\nname: movl r0, r1 # trailing comment\n"
+	if problems := vax.Validate(src); len(problems) != 0 {
+		t.Errorf("labels/comments rejected: %v", problems)
+	}
+}
+
+func TestMachineSize(t *testing.T) {
+	// movl r0, r1: opcode 1 + two register operands = 3 bytes.
+	if n := vax.MachineSize("\tmovl r0, r1\n"); n != 3 {
+		t.Errorf("movl r0, r1 = %d bytes, want 3", n)
+	}
+	// Short-literal immediate is 1 byte; big immediates take 5.
+	small := vax.MachineSize("\tmovl $5, r0\n")
+	big := vax.MachineSize("\tmovl $100000, r0\n")
+	if big <= small {
+		t.Errorf("big immediate (%d) not larger than short literal (%d)", big, small)
+	}
+	// Byte vs longword displacement.
+	near := vax.MachineSize("\tmovl -8(fp), r0\n")
+	far := vax.MachineSize("\tmovl -4096(fp), r0\n")
+	if far <= near {
+		t.Errorf("long displacement (%d) not larger than byte displacement (%d)", far, near)
+	}
+	// Data directives contribute their payload.
+	if n := vax.MachineSize("x:\t.long 1, 2, 3\n"); n != 12 {
+		t.Errorf(".long x3 = %d, want 12", n)
+	}
+	if n := vax.MachineSize("s:\t.asciz \"abc\"\n"); n != 4 {
+		t.Errorf(".asciz abc = %d, want 4", n)
+	}
+}
+
+func TestMachineSizeMuchSmallerThanText(t *testing.T) {
+	text := sample
+	if m := vax.MachineSize(text); m*2 >= len(text) {
+		t.Errorf("machine size %d not much smaller than text %d", m, len(text))
+	}
+}
+
+func TestCountInstructions(t *testing.T) {
+	if n := vax.CountInstructions(sample); n != 11 {
+		t.Errorf("CountInstructions = %d, want 11", n)
+	}
+}
+
+func TestPeepholePushPop(t *testing.T) {
+	in := "\tpushl r2\n\tmovl (sp)+, r3\n"
+	out, n := vax.Peephole(in)
+	if n == 0 || strings.Contains(out, "pushl") {
+		t.Errorf("push/pop not collapsed: %q (%d rewrites)", out, n)
+	}
+	if !strings.Contains(out, "movl r2, r3") {
+		t.Errorf("collapsed form wrong: %q", out)
+	}
+}
+
+func TestPeepholeIdentities(t *testing.T) {
+	in := "\taddl2 $0, r0\n\tmull2 $1, r1\n\tsubl2 $0, r2\n\tmovl r4, r4\n"
+	out, n := vax.Peephole(in)
+	if n < 4 {
+		t.Errorf("only %d rewrites", n)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("identities survived: %q", out)
+	}
+}
+
+func TestPeepholeBranchToNext(t *testing.T) {
+	in := "\tbrb L7\nL7:\n\tret\n"
+	out, _ := vax.Peephole(in)
+	if strings.Contains(out, "brb") {
+		t.Errorf("branch to next not removed: %q", out)
+	}
+	if !strings.Contains(out, "L7:") {
+		t.Errorf("label removed: %q", out)
+	}
+}
+
+func TestPeepholeMoveChain(t *testing.T) {
+	in := "\tmovl $9, r0\n\tmovl r0, -12(fp)\n"
+	out, _ := vax.Peephole(in)
+	if !strings.Contains(out, "movl $9, -12(fp)") {
+		t.Errorf("move chain not collapsed: %q", out)
+	}
+}
+
+func TestPeepholeIdempotent(t *testing.T) {
+	in := "\tpushl r0\n\tmovl (sp)+, r1\n\taddl2 $0, r1\n\tmovl $3, r0\n\tmovl r0, r2\n"
+	once, _ := vax.Peephole(in)
+	twice, n := vax.Peephole(once)
+	if n != 0 || once != twice {
+		t.Errorf("peephole not at fixed point after one pass (%d extra rewrites)", n)
+	}
+}
+
+func TestPeepholeNeverGrowsCode(t *testing.T) {
+	out, _ := vax.Peephole(sample)
+	if vax.CountInstructions(out) > vax.CountInstructions(sample) {
+		t.Error("peephole increased the instruction count")
+	}
+	if problems := vax.Validate(out); len(problems) != 0 {
+		t.Errorf("peephole produced invalid code: %v", problems)
+	}
+}
+
+func TestIsInstruction(t *testing.T) {
+	if !vax.IsInstruction("movl") || vax.IsInstruction("mov") {
+		t.Error("IsInstruction misclassifies")
+	}
+}

@@ -1,0 +1,324 @@
+// Package workload generates deterministic Pascal programs shaped like
+// the paper's measurement input (§4): "a compiler and interpreter for a
+// simple language used in our compiler course ... about 2000 lines
+// long, contains dozens of procedures, some at a nesting level deeper
+// than 1". Generated programs are semantically valid (no compile
+// errors) and exercise every statement and expression form of the
+// subset, so decompositions cut at procedure and statement-list
+// boundaries just as the paper's did.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes program generation.
+type Config struct {
+	// Procs is the number of top-level procedures.
+	Procs int
+	// NestedEvery inserts a nested helper (depth 2) into every n-th
+	// procedure; 0 disables nesting.
+	NestedEvery int
+	// StmtsPerProc is the approximate statement count per procedure.
+	StmtsPerProc int
+	// MainStmts is the approximate statement count of the main program.
+	MainStmts int
+	// BigProcIndex, if non-negative, makes that procedure BigProcScale
+	// times larger than the others — an indivisible chunk of work that
+	// makes fine decompositions uneven, reproducing the paper's §4.1
+	// observation that six machines decompose less evenly than five.
+	BigProcIndex int
+	BigProcScale int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// CourseCompiler approximates the paper's measurement program: about
+// 2000 lines with dozens of procedures, nesting deeper than 1.
+func CourseCompiler() Config {
+	return Config{
+		Procs: 32, NestedEvery: 3, StmtsPerProc: 22, MainStmts: 30,
+		BigProcIndex: 19, BigProcScale: 10, Seed: 1987,
+	}
+}
+
+// Small is a quick-running test workload.
+func Small() Config {
+	return Config{Procs: 6, NestedEvery: 3, StmtsPerProc: 8, MainStmts: 10, BigProcIndex: -1, Seed: 42}
+}
+
+// Tiny is the smallest interesting workload.
+func Tiny() Config {
+	return Config{Procs: 2, NestedEvery: 0, StmtsPerProc: 4, MainStmts: 5, BigProcIndex: -1, Seed: 7}
+}
+
+// gen carries generation state.
+type gen struct {
+	cfg Config
+	rng *rand.Rand
+	b   strings.Builder
+	ind int
+	// procs lists previously declared top-level procedures: name and
+	// number of integer value parameters, so later code can call them.
+	procs []procSig
+}
+
+type procSig struct {
+	name   string
+	params int
+	isFunc bool
+}
+
+// Generate produces the Pascal source for the configuration.
+func Generate(cfg Config) string {
+	g := &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.emit("program generated;")
+	g.emit("const")
+	g.ind++
+	g.emit("scale = 4;")
+	g.emit("limit = 100;")
+	g.ind--
+	g.emit("var")
+	g.ind++
+	g.emit("gtotal, gcount, gmode: integer;")
+	g.emit("gflag: boolean;")
+	g.emit("gtab: array[1..16] of integer;")
+	g.emit("gpoint: record x, y, tag: integer end;")
+	g.ind--
+	g.emit("")
+	for i := 0; i < cfg.Procs; i++ {
+		g.proc(i)
+	}
+	g.emit("begin")
+	g.ind++
+	g.emit("gtotal := 0;")
+	g.emit("gcount := scale;")
+	g.emit("gmode := 1;")
+	g.emit("gflag := true;")
+	g.mainBody()
+	g.emit("writeln('total ', gtotal)")
+	g.ind--
+	g.emit("end.")
+	return g.b.String()
+}
+
+func (g *gen) emit(line string) {
+	if line != "" {
+		g.b.WriteString(strings.Repeat("  ", g.ind))
+	}
+	g.b.WriteString(line)
+	g.b.WriteByte('\n')
+}
+
+// proc emits top-level procedure i, possibly with a nested helper.
+func (g *gen) proc(i int) {
+	name := fmt.Sprintf("work%02d", i)
+	params := 1 + g.rng.Intn(2)
+	isFunc := g.rng.Intn(3) == 0
+	var plist []string
+	for p := 0; p < params; p++ {
+		plist = append(plist, fmt.Sprintf("p%d: integer", p))
+	}
+	header := "procedure"
+	tail := ");"
+	if isFunc {
+		header = "function"
+		tail = "): integer;"
+	}
+	g.emit(fmt.Sprintf("%s %s(%s%s", header, name, strings.Join(plist, "; "), tail))
+	g.emit("var")
+	g.ind++
+	g.emit("i, acc, tmp: integer;")
+	g.emit("buf: array[1..8] of integer;")
+	g.ind--
+
+	nested := g.cfg.NestedEvery > 0 && i%g.cfg.NestedEvery == 0
+	if nested {
+		g.ind++
+		g.emit(fmt.Sprintf("function helper%02d(a: integer): integer;", i))
+		g.emit("var k: integer;")
+		g.emit("begin")
+		g.ind++
+		g.emit("k := a * scale + p0;") // uplevel access to the parameter
+		g.emit("if k > limit then k := k mod limit;")
+		g.emit(fmt.Sprintf("helper%02d := k + 1", i))
+		g.ind--
+		g.emit("end;")
+		g.ind--
+		g.emit("")
+	}
+
+	g.emit("begin")
+	g.ind++
+	g.emit("acc := p0;")
+	locals := []string{"i", "acc", "tmp", "p0"}
+	stmts := g.cfg.StmtsPerProc/2 + g.rng.Intn(g.cfg.StmtsPerProc)
+	if i == g.cfg.BigProcIndex {
+		scale := g.cfg.BigProcScale
+		if scale < 2 {
+			scale = 2
+		}
+		stmts = g.cfg.StmtsPerProc * scale
+	}
+	for s := 0; s < stmts; s++ {
+		g.stmt(locals, nested, i, s == stmts-1)
+	}
+	if isFunc {
+		g.emit(fmt.Sprintf("%s := acc", name))
+	} else {
+		g.emit("gtotal := gtotal + acc")
+	}
+	g.ind--
+	g.emit("end;")
+	g.emit("")
+	g.procs = append(g.procs, procSig{name: name, params: params, isFunc: isFunc})
+}
+
+// expr produces a small integer expression over the given names.
+func (g *gen) expr(vars []string, depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprint(1 + g.rng.Intn(9))
+		default:
+			return vars[g.rng.Intn(len(vars))]
+		}
+	}
+	ops := []string{"+", "-", "*", "div", "mod"}
+	op := ops[g.rng.Intn(len(ops))]
+	l := g.expr(vars, depth-1)
+	r := g.expr(vars, depth-1)
+	if op == "div" || op == "mod" {
+		r = fmt.Sprint(2 + g.rng.Intn(7)) // avoid dividing by zero
+	}
+	return fmt.Sprintf("(%s %s %s)", l, op, r)
+}
+
+func (g *gen) cond(vars []string) string {
+	rel := []string{"<", "<=", ">", ">=", "=", "<>"}[g.rng.Intn(6)]
+	return fmt.Sprintf("%s %s %s", g.expr(vars, 1), rel, g.expr(vars, 1))
+}
+
+// stmt emits one statement; last suppresses trailing constructs that
+// read oddly at the end of a body.
+func (g *gen) stmt(vars []string, nested bool, procIdx int, last bool) {
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		g.emit(fmt.Sprintf("%s := %s;", vars[g.rng.Intn(3)], g.expr(vars, 2)))
+	case 3:
+		g.emit(fmt.Sprintf("buf[1 + (%s mod 8)] := %s;", vars[g.rng.Intn(len(vars))], g.expr(vars, 1)))
+	case 4:
+		g.emit(fmt.Sprintf("if %s then", g.cond(vars)))
+		g.ind++
+		g.emit(fmt.Sprintf("acc := acc + %s", g.expr(vars, 1)))
+		g.ind--
+		g.emit("else")
+		g.ind++
+		g.emit(fmt.Sprintf("acc := acc - %s;", g.expr(vars, 1)))
+		g.ind--
+	case 5:
+		g.emit(fmt.Sprintf("for i := 1 to %d do", 2+g.rng.Intn(8)))
+		g.emit("begin")
+		g.ind++
+		g.emit(fmt.Sprintf("tmp := %s;", g.expr(vars, 1)))
+		g.emit("acc := acc + tmp")
+		g.ind--
+		g.emit("end;")
+	case 6:
+		g.emit(fmt.Sprintf("while tmp > %d do", 1+g.rng.Intn(5)))
+		g.emit("begin")
+		g.ind++
+		g.emit("tmp := tmp div 2;")
+		g.emit("acc := acc + 1")
+		g.ind--
+		g.emit("end;")
+	case 7:
+		if nested {
+			g.emit(fmt.Sprintf("acc := acc + helper%02d(%s);", procIdx, g.expr(vars, 1)))
+		} else if len(g.procs) > 0 {
+			g.call(vars)
+		} else {
+			g.emit(fmt.Sprintf("tmp := %s;", g.expr(vars, 2)))
+		}
+	case 8:
+		g.emit(fmt.Sprintf("case %s mod 3 of", vars[g.rng.Intn(len(vars))]))
+		g.ind++
+		g.emit("0: acc := acc + 1;")
+		g.emit("1: acc := acc + 2")
+		g.ind--
+		g.emit("else")
+		g.ind++
+		g.emit("acc := acc + 3")
+		g.ind--
+		g.emit("end;")
+	default:
+		// Clamp first: tmp may be deeply negative here, and counting up
+		// one by one from -10^9 would take geological time at run time.
+		g.emit("if tmp < 0 then tmp := 0;")
+		g.emit(fmt.Sprintf("repeat tmp := tmp + 1 until tmp >= %d;", 2+g.rng.Intn(6)))
+	}
+	_ = last
+}
+
+// call emits a call (or function use) of a previously declared proc.
+// Targets are folded into the first few procedures so the generated
+// program's call graph stays shallow — otherwise the call tree grows
+// exponentially with the procedure count and the program, while
+// finite, would run for geological time on the emulator.
+func (g *gen) call(vars []string) {
+	const baseProcs = 6
+	pick := g.rng.Intn(len(g.procs))
+	if len(g.procs) > baseProcs {
+		pick %= baseProcs
+	}
+	sig := g.procs[pick]
+	var args []string
+	for i := 0; i < sig.params; i++ {
+		args = append(args, g.expr(vars, 1))
+	}
+	if sig.isFunc {
+		g.emit(fmt.Sprintf("acc := acc + %s(%s);", sig.name, strings.Join(args, ", ")))
+	} else {
+		g.emit(fmt.Sprintf("%s(%s);", sig.name, strings.Join(args, ", ")))
+	}
+}
+
+// mainBody emits the main program: calls covering all procedures plus
+// mixed statements over the globals.
+func (g *gen) mainBody() {
+	vars := []string{"gtotal", "gcount", "gmode"}
+	for i, sig := range g.procs {
+		var args []string
+		for p := 0; p < sig.params; p++ {
+			args = append(args, g.expr(vars, 1))
+		}
+		if sig.isFunc {
+			g.emit(fmt.Sprintf("gtotal := gtotal + %s(%s);", sig.name, strings.Join(args, ", ")))
+		} else {
+			g.emit(fmt.Sprintf("%s(%s);", sig.name, strings.Join(args, ", ")))
+		}
+		if i%4 == 3 {
+			g.emit(fmt.Sprintf("gtab[1 + (gcount mod 16)] := %s;", g.expr(vars, 1)))
+		}
+	}
+	for s := 0; s < g.cfg.MainStmts; s++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			g.emit(fmt.Sprintf("gpoint.x := %s;", g.expr(vars, 1)))
+		case 1:
+			g.emit(fmt.Sprintf("if %s then gflag := not gflag;", g.cond(vars)))
+		case 2:
+			g.emit(fmt.Sprintf("gmode := %s;", g.expr(vars, 2)))
+		default:
+			g.emit(fmt.Sprintf("gcount := gcount + %s;", g.expr(vars, 1)))
+		}
+	}
+	g.emit("if gflag then writeln('flag set');")
+}
+
+// Lines counts the lines of a generated program.
+func Lines(src string) int {
+	return strings.Count(src, "\n") + 1
+}

@@ -1,0 +1,116 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/eval"
+	"pag/internal/pascal"
+	"pag/internal/rope"
+	"pag/internal/vax"
+	"pag/internal/workload"
+)
+
+func TestGeneratedProgramsCompileCleanly(t *testing.T) {
+	l := pascal.MustNew()
+	for name, cfg := range map[string]workload.Config{
+		"tiny":   workload.Tiny(),
+		"small":  workload.Small(),
+		"course": workload.CourseCompiler(),
+	} {
+		src := workload.Generate(cfg)
+		root, err := l.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		st := eval.NewStatic(l.A, eval.Hooks{})
+		if err := st.EvaluateTree(root); err != nil {
+			t.Fatalf("%s: evaluate: %v", name, err)
+		}
+		if v := root.Attrs[pascal.ProgAttrErrs]; v != nil {
+			if errs := v.([]string); len(errs) > 0 {
+				t.Fatalf("%s: semantic errors in generated program: %v", name, errs[:minInt(3, len(errs))])
+			}
+		}
+		code := rope.FlattenCode(root.Attrs[pascal.ProgAttrCode].(rope.Code), nil)
+		if problems := vax.Validate(code); len(problems) > 0 {
+			t.Errorf("%s: invalid assembly: %v", name, problems[:minInt(3, len(problems))])
+		}
+	}
+}
+
+func TestCourseCompilerMatchesPaperShape(t *testing.T) {
+	src := workload.Generate(workload.CourseCompiler())
+	lines := workload.Lines(src)
+	if lines < 1200 || lines > 3200 {
+		t.Errorf("course program is %d lines; paper says about 2000", lines)
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a := workload.Generate(workload.Small())
+	b := workload.Generate(workload.Small())
+	if a != b {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGeneratedProgramsExecute(t *testing.T) {
+	// The generated measurement programs must not only compile but run:
+	// execute the compiled VAX assembly on the emulator and require a
+	// clean termination with the expected trailer.
+	l := pascal.MustNew()
+	for name, cfg := range map[string]workload.Config{
+		"tiny":  workload.Tiny(),
+		"small": workload.Small(),
+	} {
+		src := workload.Generate(cfg)
+		root, err := l.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := eval.NewStatic(l.A, eval.Hooks{})
+		if err := st.EvaluateTree(root); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		code := rope.FlattenCode(root.Attrs[pascal.ProgAttrCode].(rope.Code), nil)
+		out, err := vax.Execute(code)
+		if err != nil {
+			t.Fatalf("%s: execution failed: %v", name, err)
+		}
+		if !strings.Contains(out, "total ") {
+			t.Errorf("%s: output missing trailer: %q", name, out)
+		}
+	}
+}
+
+func TestCourseCompilerExecutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long execution")
+	}
+	l := pascal.MustNew()
+	src := workload.Generate(workload.CourseCompiler())
+	root, err := l.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eval.NewStatic(l.A, eval.Hooks{})
+	if err := st.EvaluateTree(root); err != nil {
+		t.Fatal(err)
+	}
+	code := rope.FlattenCode(root.Attrs[pascal.ProgAttrCode].(rope.Code), nil)
+	out, err := vax.Execute(code)
+	if err != nil {
+		t.Fatalf("execution failed: %v", err)
+	}
+	if !strings.Contains(out, "total ") {
+		t.Errorf("output missing trailer: %q", out)
+	}
+}

@@ -1,0 +1,162 @@
+// Package pag is a from-scratch Go reproduction of "Parallel Attribute
+// Grammar Evaluation" (Hans-Juergen Boehm and Willy Zwaenepoel, ICDCS
+// 1987): a compiler generator that turns one attribute-grammar
+// specification into a parallel translator — a sequential parser that
+// splits the parse tree, attribute evaluators on separate machines
+// exchanging attribute values, and a string librarian assembling the
+// generated code from descriptors.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Grammar construction and OAG analysis (internal/ag): NewGrammar,
+//     Analyze, the attribute and rule declaration helpers.
+//   - Parse trees, splitting and linearization (internal/tree).
+//   - The three evaluators of the paper (internal/eval): NewDynamic,
+//     NewStatic, NewCombined.
+//   - The parallel runtime on a simulated 1987 network multiprocessor
+//     (internal/cluster, internal/netsim): Compile.
+//   - Supporting data structures from §4.3 of the paper: rope strings
+//     (internal/rope), applicative symbol tables (internal/symtab).
+//
+// A complete small language built on this API lives in
+// internal/exprlang (the paper's appendix grammar); the full Pascal
+// subset compiler of the paper's experiments lives in internal/pascal.
+// See examples/ for runnable demonstrations and cmd/benchfig for the
+// reproduction of every figure and table.
+package pag
+
+import (
+	"pag/internal/ag"
+	"pag/internal/cluster"
+	"pag/internal/eval"
+	"pag/internal/netsim"
+	"pag/internal/rope"
+	"pag/internal/symtab"
+	"pag/internal/trace"
+	"pag/internal/tree"
+)
+
+// Grammar model (internal/ag).
+type (
+	// Grammar is a validated attribute grammar.
+	Grammar = ag.Grammar
+	// GrammarBuilder assembles a Grammar declaratively.
+	GrammarBuilder = ag.Builder
+	// Symbol is a terminal or nonterminal with attributes.
+	Symbol = ag.Symbol
+	// Production is a context-free production with semantic rules.
+	Production = ag.Production
+	// Analysis is the OAG prepass result: visit phases and plans.
+	Analysis = ag.Analysis
+	// AttrSpec declares one attribute of a symbol.
+	AttrSpec = ag.AttrSpec
+	// RuleSpec declares one semantic rule.
+	RuleSpec = ag.RuleSpec
+	// Value is an attribute value.
+	Value = ag.Value
+	// Codec converts attribute values for network transmission.
+	Codec = ag.Codec
+)
+
+// NewGrammar starts a grammar definition.
+func NewGrammar(name string) *GrammarBuilder { return ag.NewBuilder(name) }
+
+// Analyze runs the ordered-attribute-grammar analysis (Kastens), the
+// prepass that enables static and combined evaluation.
+func Analyze(g *Grammar) (*Analysis, error) { return ag.Analyze(g) }
+
+// Attribute and rule declaration helpers.
+var (
+	Syn   = ag.Syn
+	Inh   = ag.Inh
+	Def   = ag.Def
+	Copy  = ag.Copy
+	Const = ag.Const
+)
+
+// Parse trees (internal/tree).
+type (
+	// Node is a parse-tree node.
+	Node = tree.Node
+	// Decomposition is a tree split into separately evaluated fragments.
+	Decomposition = tree.Decomposition
+)
+
+// NewNode creates an interior node; NewTerminal a scanner leaf.
+var (
+	NewNode     = tree.New
+	NewTerminal = tree.NewTerminal
+	Decompose   = tree.Decompose
+)
+
+// Evaluators (internal/eval).
+type (
+	// DynamicEvaluator evaluates via a runtime dependency graph.
+	DynamicEvaluator = eval.Dynamic
+	// StaticEvaluator evaluates via precomputed visit sequences.
+	StaticEvaluator = eval.Static
+	// CombinedEvaluator is the paper's contribution: dynamic on the
+	// spine to remote subtrees, static everywhere else.
+	CombinedEvaluator = eval.Combined
+	// EvalHooks connects an evaluator to its environment.
+	EvalHooks = eval.Hooks
+	// EvalStats counts static/dynamic evaluations.
+	EvalStats = eval.Stats
+)
+
+// Evaluator constructors.
+var (
+	NewDynamic  = eval.NewDynamic
+	NewStatic   = eval.NewStatic
+	NewCombined = eval.NewCombined
+)
+
+// Parallel runtime (internal/cluster, internal/netsim).
+type (
+	// Job describes one parallel compilation.
+	Job = cluster.Job
+	// Options configures machines, mode and optimizations.
+	Options = cluster.Options
+	// Result reports timings, statistics and the produced program.
+	Result = cluster.Result
+	// Mode selects the evaluation strategy.
+	Mode = cluster.Mode
+	// Hardware describes the simulated machines and network.
+	Hardware = netsim.Config
+	// Trace is a machine activity trace (renders as a Gantt chart).
+	Trace = trace.Trace
+)
+
+// Evaluation modes.
+const (
+	Combined = cluster.Combined
+	Dynamic  = cluster.Dynamic
+)
+
+// Compile runs one parallel compilation on the simulated network
+// multiprocessor and returns its result.
+func Compile(job Job, opts Options) (*Result, error) { return cluster.Run(job, opts) }
+
+// DefaultHardware returns the paper's testbed: SUN-2-class machines on
+// a 10 Mbit/s shared Ethernet under a V-System-like message layer.
+func DefaultHardware() Hardware { return netsim.DefaultHardware() }
+
+// Support libraries (§4.3 of the paper).
+type (
+	// Rope is a binary-tree string with O(1) concatenation.
+	Rope = rope.Rope
+	// Code is the librarian-aware code-attribute string type.
+	Code = rope.Code
+	// SymTable is an applicative symbol table.
+	SymTable = symtab.Table
+)
+
+// Rope and symbol-table constructors.
+var (
+	Leaf      = rope.Leaf
+	Concat    = rope.Concat
+	CatCode   = rope.CatCode
+	NewSymTab = symtab.New
+	Text      = rope.Text
+	Textf     = rope.Textf
+)
