@@ -1,0 +1,45 @@
+# Development targets; CI (.github/workflows/ci.yml) runs the same
+# commands, so a green `make check` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-parallel lint fmt check figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checked tests: required before touching internal/parallel.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run 'XXX' -bench . -benchtime 1x ./...
+
+# Real-multicore speedup benchmark only (paper workload, 1/2/4/8 workers).
+bench-parallel:
+	$(GO) test -run 'XXX' -bench BenchmarkParallelPascal ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+# Everything CI checks, in CI's order.
+check: build lint race
+
+# Regenerate every figure and table of the paper (plus Figure 8, the
+# real-multicore measurement).
+figures:
+	$(GO) run ./cmd/benchfig
+
+clean:
+	$(GO) clean ./...

@@ -6,7 +6,13 @@
 //	benchfig -fig 5     # Figure 5 (running times)
 //	benchfig -fig 6     # Figure 6 (behaviour Gantt chart)
 //	benchfig -fig 7     # Figure 7 (source decomposition)
+//	benchfig -fig 8     # Figure 8 (real multicore running times)
 //	benchfig -tables    # the textual claims T1..T12
+//
+// Figure 8 is not in the paper: it runs the shared-memory parallel
+// runtime (internal/parallel) on this machine's real CPU cores and
+// reports wall-clock speedups, after checking the produced program is
+// byte-identical to the simulated cluster's.
 package main
 
 import (
@@ -19,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (5, 6 or 7); 0 = all")
+	fig := flag.Int("fig", 0, "figure to regenerate (5, 6, 7 or 8); 0 = all")
 	tables := flag.Bool("tables", false, "print only the table experiments")
 	width := flag.Int("width", 100, "gantt chart width")
 	flag.Parse()
@@ -56,6 +62,16 @@ func run(fig int, tablesOnly bool, width int) error {
 		fmt.Println("Figure 7: source program decomposition (5 machines)")
 		fmt.Print(d.Describe())
 		fmt.Printf("balance (max/mean): %.2f\n\n", d.Balance())
+	}
+	if !tablesOnly && (fig == 0 || fig == 8) {
+		if err := experiments.ParallelMatchesCluster(4); err != nil {
+			return err
+		}
+		r, err := experiments.Fig8([]int{1, 2, 4, 8}, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
 	}
 	if fig != 0 && !tablesOnly {
 		return nil

@@ -1,0 +1,3 @@
+module pag
+
+go 1.24

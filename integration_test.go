@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"pag"
 	"pag/internal/cluster"
 	"pag/internal/experiments"
 	"pag/internal/pascal"
@@ -207,4 +208,43 @@ func minI(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestFacadeParallelRuntimeMatchesSimulator drives the public facade:
+// pag.CompileParallel (real goroutines) must produce exactly the
+// program pag.Compile (simulated cluster) produces, and that program
+// must still assemble to VAX machine code.
+func TestFacadeParallelRuntimeMatchesSimulator(t *testing.T) {
+	l := pascal.MustNew()
+	job, err := l.ClusterJob(workload.Generate(workload.Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	sim, err := pag.Compile(job, pag.Options{
+		Machines: n, Mode: pag.Combined, Librarian: true, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := pag.CompileParallel(job, pag.ParallelOptions{
+		Workers: n, Librarian: true, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Program != sim.Program {
+		t.Fatalf("facade parallel program (%d bytes) differs from simulator program (%d bytes)",
+			len(real.Program), len(sim.Program))
+	}
+	if real.Frags != n || real.Workers != n {
+		t.Errorf("frags/workers = %d/%d, want %d/%d", real.Frags, real.Workers, n, n)
+	}
+	code, err := vax.Assemble(real.Program)
+	if err != nil {
+		t.Fatalf("assembling parallel output: %v", err)
+	}
+	if len(code) == 0 {
+		t.Fatal("empty machine code")
+	}
 }

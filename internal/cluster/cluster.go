@@ -60,6 +60,27 @@ type UIDPair struct {
 	Count int
 }
 
+// CodeAttr returns the index of the start symbol's code attribute —
+// the synthesized attribute whose codec supports librarian shipping —
+// or -1 if the grammar has none. Both runtimes use this to decide
+// which root attribute becomes Result.Program.
+func CodeAttr(g *ag.Grammar) int {
+	codeAttr := -1
+	for ai, a := range g.Start.Attrs {
+		if _, ok := a.Codec.(rope.ShipCodec); ok && a.Kind == ag.Synthesized {
+			codeAttr = ai
+		}
+	}
+	return codeAttr
+}
+
+// UIDBaseFor returns the per-fragment unique-identifier base the
+// parser hands to fragment id under Options.UIDPreset (§4.3). The
+// spacing leaves a million identifiers per fragment. The real runtime
+// (internal/parallel) uses the same bases, which is part of why its
+// output is byte-identical to the simulator's.
+func UIDBaseFor(id int) int { return 1 + id*1_000_000 }
+
 // Job describes one compilation.
 type Job struct {
 	G *ag.Grammar
@@ -219,13 +240,12 @@ func Run(job Job, opts Options) (*Result, error) {
 		}
 	}
 	// Identify the code attribute of the start symbol (ship codec).
-	codeAttr := -1
-	for ai, a := range job.G.Start.Attrs {
-		if _, ok := a.Codec.(rope.ShipCodec); ok && a.Kind == ag.Synthesized {
-			codeAttr = ai
-		}
-	}
+	codeAttr := CodeAttr(job.G)
 	useLib := opts.Librarian && codeAttr >= 0
+	if useLib && decomp.NumFragments() > rope.MaxHandleRanges {
+		return nil, fmt.Errorf("cluster: %d fragments exceed the librarian's %d handle ranges",
+			decomp.NumFragments(), rope.MaxHandleRanges)
+	}
 
 	uidBase := map[AttrKey]bool{}
 	uidCount := map[AttrKey]bool{}
@@ -321,7 +341,7 @@ func (c *run) runParser(p *netsim.Proc, nodes int) {
 		data := tree.Encode(f.Root)
 		p.Compute(time.Duration(len(data)) * costPerByteCodec)
 		c.send(p, c.evals[f.ID], "subtree",
-			subtreeMsg{frag: f.ID, parent: f.Parent, data: data, uidBase: 1 + f.ID*1_000_000},
+			subtreeMsg{frag: f.ID, parent: f.Parent, data: data, uidBase: UIDBaseFor(f.ID)},
 			len(data))
 	}
 

@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"reflect"
 	"testing"
 
 	"pag/internal/ag"
@@ -80,9 +81,21 @@ func TestClusterDeterministic(t *testing.T) {
 	if a.EvalTime != b.EvalTime {
 		t.Errorf("nondeterministic EvalTime: %v vs %v", a.EvalTime, b.EvalTime)
 	}
+	if a.ParseTime != b.ParseTime {
+		t.Errorf("nondeterministic ParseTime: %v vs %v", a.ParseTime, b.ParseTime)
+	}
 	if a.Messages != b.Messages || a.Bytes != b.Bytes {
 		t.Errorf("nondeterministic traffic: %d/%d vs %d/%d msgs/bytes",
 			a.Messages, a.Bytes, b.Messages, b.Bytes)
+	}
+	// The netsim scheduler is fully deterministic, so the two runs must
+	// produce identical machine activity traces: every busy span, every
+	// message arrow, every mark, at identical virtual times.
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Error("nondeterministic trace")
+		if ga, gb := a.Trace.Gantt(80), b.Trace.Gantt(80); ga != gb {
+			t.Logf("run 1:\n%s\nrun 2:\n%s", ga, gb)
+		}
 	}
 }
 

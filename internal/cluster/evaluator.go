@@ -11,28 +11,6 @@ import (
 	"pag/internal/tree"
 )
 
-// fragmentEvaluator is the common surface of eval.Dynamic and
-// eval.Combined used by the evaluator process.
-type fragmentEvaluator interface {
-	Supply(n *tree.Node, attr int, v ag.Value)
-	Done() bool
-	Blocked() []string
-	Stats() eval.Stats
-}
-
-type dynAdapter struct{ *eval.Dynamic }
-
-func (d dynAdapter) run() { d.Dynamic.Run() }
-
-type combAdapter struct{ *eval.Combined }
-
-func (c combAdapter) run() { c.Combined.Run() }
-
-type runnable interface {
-	fragmentEvaluator
-	run()
-}
-
 // evaluator is the body of evaluator machine idx: it receives its
 // fragment, reconstructs the subtree, evaluates attributes (statically
 // off the spine in combined mode), exchanges attribute values with the
@@ -60,17 +38,26 @@ func (c *run) evaluator(p *netsim.Proc, idx int) {
 
 	// Map remote leaves back to fragment ids for message routing; the
 	// slice preserves tree order for deterministic scheduling.
+	leafList := tree.RemoteLeaves(root)
 	leaves := map[int]*tree.Node{}
-	var leafList []*tree.Node
-	root.Walk(func(n *tree.Node) {
-		if n.Remote {
-			leaves[n.RemoteID] = n
-			leafList = append(leafList, n)
-		}
-	})
+	for _, leaf := range leafList {
+		leaves[leaf.RemoteID] = leaf
+	}
 
-	nextHandle := int32(idx) << 20
+	// HandleBase bounds-checks the range; only take it when the
+	// librarian is actually in play (Run has validated the width then).
+	var nextHandle, stored int32
+	if c.useLib {
+		nextHandle = rope.HandleBase(idx)
+	}
 	store := func(text string) int32 {
+		if stored >= rope.RangeCap {
+			// Same guard as rope.Librarian.Range: fail rather than walk
+			// into the neighbouring machine's handle range silently.
+			c.fail(fmt.Errorf("cluster: evaluator %d exhausted its librarian handle range", idx))
+			return 0
+		}
+		stored++
 		nextHandle++
 		h := nextHandle
 		c.send(p, c.librarian, "store", storeMsg{handle: h, text: text}, len(text)+attrMsgHeader)
@@ -144,12 +131,12 @@ func (c *run) evaluator(p *netsim.Proc, idx int) {
 		},
 	}
 
-	var ev runnable
+	var ev eval.FragmentEvaluator
 	switch c.opts.Mode {
 	case Dynamic:
-		ev = dynAdapter{eval.NewDynamic(c.job.G, root, hooks)}
+		ev = eval.NewDynamic(c.job.G, root, hooks)
 	default:
-		ev = combAdapter{eval.NewCombined(c.job.A, root, hooks)}
+		ev = eval.NewCombined(c.job.A, root, hooks)
 	}
 	p.Mark("ready")
 
@@ -170,7 +157,7 @@ func (c *run) evaluator(p *netsim.Proc, idx int) {
 		}
 	}
 
-	ev.run()
+	ev.Run()
 	for !ev.Done() {
 		m, ok := p.Recv()
 		if !ok {
@@ -201,7 +188,7 @@ func (c *run) evaluator(p *netsim.Proc, idx int) {
 			p.Mark("got " + target.Sym.Attrs[am.attr].Name)
 		}
 		ev.Supply(target, am.attr, v)
-		ev.run()
+		ev.Run()
 	}
 	p.Mark("done")
 	c.send(p, c.parser, "done", evaluatorDone{frag: idx, stats: ev.Stats()}, 32)

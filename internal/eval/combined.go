@@ -165,18 +165,23 @@ func (c *Combined) pop() (inst, bool) {
 
 // Run evaluates everything that is ready: dynamic spine instances in
 // topological order, and static visits as their input phases complete.
-func (c *Combined) Run() {
+// It returns the number of dynamic instances evaluated by this call;
+// if the fragment depends on remote attributes, Run must be
+// interleaved with Supply until Done reports true.
+func (c *Combined) Run() int {
 	if c.rootStatic != nil {
 		c.runStaticChild(c.rootStatic, true)
-		return
+		return 0
 	}
 	c.drainStaticChildren()
+	count := 0
 	for {
 		i, ok := c.pop()
 		if !ok {
-			return
+			return count
 		}
 		c.evaluate(i)
+		count++
 	}
 }
 

@@ -92,6 +92,27 @@ func (s *Stats) Add(other Stats) {
 	s.Supplied += other.Supplied
 }
 
+// FragmentEvaluator is the common surface of the Dynamic and Combined
+// evaluators as seen by a parallel runtime: run until blocked, feed
+// remotely computed attribute values in, and report completion. Both
+// the simulated cluster (internal/cluster) and the real shared-memory
+// runtime (internal/parallel) drive fragments through this interface.
+// Implementations are not safe for concurrent use; a runtime must
+// ensure at most one goroutine drives a given fragment at a time.
+type FragmentEvaluator interface {
+	// Run evaluates everything currently ready and returns the number
+	// of dynamically evaluated instances.
+	Run() int
+	// Supply injects an attribute value computed by another evaluator.
+	Supply(n *tree.Node, attr int, v ag.Value)
+	// Done reports whether every local attribute instance is evaluated.
+	Done() bool
+	// Blocked lists blocked instances for deadlock diagnostics.
+	Blocked() []string
+	// Stats returns evaluation statistics.
+	Stats() Stats
+}
+
 // inst identifies one attribute instance: attribute a of tree node n.
 type inst struct {
 	n *tree.Node

@@ -10,19 +10,6 @@ import (
 	"pag/internal/tree"
 )
 
-// evaluator is the common surface of Dynamic and Combined.
-type evaluator interface {
-	Run() // Dynamic returns int; adapters below normalize
-	Supply(n *tree.Node, attr int, v ag.Value)
-	Done() bool
-	Blocked() []string
-	Stats() eval.Stats
-}
-
-type dynAdapter struct{ *eval.Dynamic }
-
-func (d dynAdapter) Run() { d.Dynamic.Run() }
-
 var exprCases = []struct {
 	src  string
 	want int
@@ -133,7 +120,7 @@ func TestCombinedOnUnsplitTreeIsPureStatic(t *testing.T) {
 // attribute values between fragments synchronously. It is the
 // single-process stand-in for the network runtime in cluster.
 type pump struct {
-	evs    []evaluator
+	evs    []eval.FragmentEvaluator
 	leaves map[int]leafRef // fragment id -> remote leaf in parent
 	queue  []func()
 }
@@ -180,7 +167,7 @@ func newPump(t *testing.T, g *ag.Grammar, a *ag.Analysis, d *tree.Decomposition,
 		if combined {
 			p.evs = append(p.evs, eval.NewCombined(a, f.Root, hooks))
 		} else {
-			p.evs = append(p.evs, dynAdapter{eval.NewDynamic(g, f.Root, hooks)})
+			p.evs = append(p.evs, eval.NewDynamic(g, f.Root, hooks))
 		}
 	}
 	return p

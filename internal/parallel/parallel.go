@@ -1,0 +1,399 @@
+// Package parallel is the real shared-memory parallel runtime of the
+// reproduction: the paper's architecture (§2.1) mapped onto a modern
+// multicore machine instead of the simulated 1987 network.
+//
+// The correspondence to the paper, piece by piece:
+//
+//   - The sequential parser that splits the parse tree is the calling
+//     goroutine: it clones the tree and decomposes it with the same
+//     granularity policy as the simulated cluster (internal/tree).
+//   - The attribute evaluator machines become a pool of N worker
+//     goroutines. Each tree fragment is an actor owning one combined or
+//     dynamic evaluator (internal/eval); a fragment is scheduled onto a
+//     worker whenever it has unprocessed input, and at most one worker
+//     drives a given fragment at a time.
+//   - V-System IPC becomes message passing over a run queue and
+//     per-fragment mailboxes: inherited attributes of remote subtrees
+//     and synthesized attributes of fragment roots travel between
+//     fragments as plain Go values (attribute values are immutable by
+//     the purity requirement on semantic rules, so sharing is safe).
+//   - The string librarian process becomes rope.Librarian, a
+//     mutex-protected store: evaluators deposit generated text and
+//     exchange O(1)-sized rope descriptors; the final program is
+//     spliced once at the end (§4.3).
+//
+// Because attribute evaluation is purely functional, the result is
+// deterministic regardless of scheduling, and byte-identical to the
+// simulated cluster runtime given the same decomposition.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pag/internal/ag"
+	"pag/internal/cluster"
+	"pag/internal/eval"
+	"pag/internal/rope"
+	"pag/internal/tree"
+)
+
+// Options configures one parallel compilation.
+type Options struct {
+	// Workers is the number of worker goroutines; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Fragments caps the decomposition; 0 splits into at most Workers
+	// fragments (mirroring the cluster's one-fragment-per-machine
+	// policy, so results are byte-identical to cluster.Run with
+	// Machines == Workers). Larger values oversubscribe the pool.
+	Fragments int
+	// Mode selects the evaluation strategy (default Combined).
+	Mode cluster.Mode
+	// Librarian routes code attributes through a shared rope.Librarian:
+	// fragments exchange O(1) descriptors instead of rope structure.
+	Librarian bool
+	// Granularity is the minimum linearized subtree size for a split;
+	// 0 derives it from the tree size and fragment count.
+	Granularity int
+	// UIDPreset enables per-fragment unique-identifier bases (§4.3).
+	UIDPreset bool
+	// NoPriority disables priority attributes.
+	NoPriority bool
+}
+
+// Result is the outcome of a parallel compilation.
+type Result struct {
+	// RootAttrs holds the synthesized attributes of the tree root,
+	// indexed by attribute index. The code attribute, if any, is always
+	// a handle-free Code (librarian descriptors are resolved before the
+	// run returns).
+	RootAttrs []ag.Value
+	// Program is the final code text, spliced via the librarian when
+	// enabled, if the grammar has a code attribute.
+	Program string
+	// WallTime is the real elapsed time of the run (split, evaluate,
+	// splice), as measured on this machine — the number the simulated
+	// cluster can only estimate.
+	WallTime time.Duration
+	// Stats aggregates evaluator statistics across fragments.
+	Stats eval.Stats
+	// PerFrag holds per-fragment evaluator statistics.
+	PerFrag []eval.Stats
+	// Frags is the number of fragments the tree was split into.
+	Frags int
+	// Workers is the number of worker goroutines used.
+	Workers int
+	// Decomp describes the process tree.
+	Decomp *tree.Decomposition
+	// Messages counts cross-fragment attribute messages.
+	Messages int
+	// StoredStrings and StoredBytes report librarian activity.
+	StoredStrings int
+	StoredBytes   int
+}
+
+// message is one cross-fragment attribute value: attr of node (a
+// fragment root or a remote leaf of the receiving fragment).
+type message struct {
+	node *tree.Node
+	attr int
+	val  ag.Value
+}
+
+// frag is one fragment actor. The scheduler guarantees at most one
+// worker executes step on a fragment at a time; inbox, queued and done
+// are the only cross-goroutine state and are guarded by mu.
+type frag struct {
+	id     int
+	parent int
+	root   *tree.Node
+	leaves []*tree.Node // remote leaves, tree order
+
+	mu     sync.Mutex
+	inbox  []message
+	queued bool
+	done   bool
+
+	ev    eval.FragmentEvaluator // created on first step, in a worker
+	store func(text string) int32
+	stats eval.Stats
+}
+
+// rt is the shared state of one parallel run.
+type rt struct {
+	job  cluster.Job
+	opts Options
+
+	frags    []*frag
+	leafOf   map[int]*tree.Node // child fragment id -> remote leaf in parent
+	lib      *rope.Librarian
+	useLib   bool
+	uidBase  map[cluster.AttrKey]bool
+	uidCount map[cluster.AttrKey]bool
+
+	runq     chan int
+	pending  atomic.Int64 // queued or running fragments; 0 = quiescent
+	doneCnt  atomic.Int64
+	messages atomic.Int64
+
+	rootAttrs []ag.Value // written only by the worker driving fragment 0
+}
+
+// Run executes one parallel compilation across real CPU cores and
+// returns its result. The job's tree is cloned, so the job can be
+// reused (and compared against cluster.Run on the same job).
+func Run(job cluster.Job, opts Options) (*Result, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Mode == 0 {
+		opts.Mode = cluster.Combined
+	}
+	if opts.Mode == cluster.Combined && job.A == nil {
+		return nil, fmt.Errorf("parallel: combined mode requires an OAG analysis")
+	}
+	if opts.Fragments <= 0 {
+		opts.Fragments = opts.Workers
+	}
+	start := time.Now()
+
+	// The parser side: clone and decompose, same policy as the cluster.
+	root := job.Root.Clone()
+	gran := opts.Granularity
+	if gran == 0 {
+		gran = tree.GranularityFor(root, opts.Fragments)
+	}
+	decomp := tree.Decompose(root, gran, opts.Fragments)
+
+	// Identify the code attribute of the start symbol.
+	codeAttr := cluster.CodeAttr(job.G)
+	useLib := opts.Librarian && codeAttr >= 0
+	if useLib && decomp.NumFragments() > rope.MaxHandleRanges {
+		return nil, fmt.Errorf("parallel: %d fragments exceed the librarian's %d handle ranges",
+			decomp.NumFragments(), rope.MaxHandleRanges)
+	}
+
+	r := &rt{
+		job:       job,
+		opts:      opts,
+		leafOf:    make(map[int]*tree.Node),
+		lib:       rope.NewLibrarian(),
+		useLib:    useLib,
+		uidBase:   make(map[cluster.AttrKey]bool),
+		uidCount:  make(map[cluster.AttrKey]bool),
+		runq:      make(chan int, decomp.NumFragments()),
+		rootAttrs: make([]ag.Value, len(job.G.Start.Attrs)),
+	}
+	for _, k := range job.UIDs {
+		r.uidBase[cluster.AttrKey{Sym: k.Sym, Attr: k.Base}] = true
+		r.uidCount[cluster.AttrKey{Sym: k.Sym, Attr: k.Count}] = true
+	}
+	for _, f := range decomp.Frags {
+		fr := &frag{id: f.ID, parent: f.Parent, root: f.Root, leaves: tree.RemoteLeaves(f.Root)}
+		r.frags = append(r.frags, fr)
+		for _, leaf := range fr.leaves {
+			r.leafOf[leaf.RemoteID] = leaf
+		}
+	}
+
+	// Seed every fragment, then let the pool run to quiescence.
+	r.pending.Store(int64(len(r.frags)))
+	for _, f := range r.frags {
+		f.queued = true
+		r.runq <- f.id
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range r.runq {
+				r.step(r.frags[id])
+			}
+		}()
+	}
+	wg.Wait()
+
+	if int(r.doneCnt.Load()) != len(r.frags) {
+		var blocked []string
+		for _, f := range r.frags {
+			if f.ev != nil && !f.ev.Done() {
+				for _, b := range f.ev.Blocked() {
+					blocked = append(blocked, fmt.Sprintf("fragment %d: %s", f.id, b))
+				}
+			}
+		}
+		return nil, fmt.Errorf("parallel: %s on %d worker(s) deadlocked; blocked: %v",
+			opts.Mode, opts.Workers, blocked)
+	}
+
+	res := &Result{
+		RootAttrs: r.rootAttrs,
+		Frags:     decomp.NumFragments(),
+		Workers:   opts.Workers,
+		Decomp:    decomp,
+		Messages:  int(r.messages.Load()),
+	}
+	for _, f := range r.frags {
+		res.PerFrag = append(res.PerFrag, f.stats)
+		res.Stats.Add(f.stats)
+	}
+	if codeAttr >= 0 {
+		if code, ok := r.rootAttrs[codeAttr].(rope.Code); ok {
+			res.Program = rope.FlattenCode(code, r.lib.Lookup)
+			if r.useLib {
+				// The raw value may reference librarian handles the
+				// caller cannot resolve (the librarian dies with the
+				// run); expose the spliced text instead, so RootAttrs
+				// is always consumable with a nil lookup.
+				res.RootAttrs[codeAttr] = rope.Leaf(res.Program)
+			}
+		}
+	}
+	res.StoredStrings, res.StoredBytes = r.lib.Stored()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// post delivers one attribute message to fragment target, scheduling it
+// if it is idle. Messages to completed fragments are dropped (the value
+// was provably not needed: a fragment only completes once every local
+// instance is evaluated).
+func (r *rt) post(target *frag, m message) {
+	r.messages.Add(1)
+	target.mu.Lock()
+	if target.done {
+		target.mu.Unlock()
+		return
+	}
+	target.inbox = append(target.inbox, m)
+	enqueue := !target.queued
+	if enqueue {
+		target.queued = true
+	}
+	target.mu.Unlock()
+	if enqueue {
+		// The poster's own step still holds a pending reference, so the
+		// pool cannot quiesce (and close runq) before this send lands.
+		r.pending.Add(1)
+		r.runq <- target.id
+	}
+}
+
+// step drives one fragment on the current worker: build its evaluator
+// on first entry, drain the mailbox, evaluate until blocked, repeat
+// until the mailbox stays empty or the fragment completes.
+func (r *rt) step(f *frag) {
+	if f.ev == nil {
+		r.initFrag(f)
+	}
+	for {
+		f.mu.Lock()
+		msgs := f.inbox
+		f.inbox = nil
+		f.mu.Unlock()
+		for _, m := range msgs {
+			f.ev.Supply(m.node, m.attr, m.val)
+		}
+		f.ev.Run()
+		if f.ev.Done() {
+			f.stats = f.ev.Stats()
+			f.mu.Lock()
+			f.done = true // queued stays true: completed fragments never reschedule
+			f.mu.Unlock()
+			r.doneCnt.Add(1)
+			break
+		}
+		f.mu.Lock()
+		if len(f.inbox) == 0 {
+			f.queued = false
+			f.mu.Unlock()
+			break
+		}
+		f.mu.Unlock()
+	}
+	if r.pending.Add(-1) == 0 {
+		// Nothing queued, nothing running, no messages in flight: the
+		// pool is quiescent (all fragments done, or deadlock).
+		close(r.runq)
+	}
+}
+
+// initFrag builds the fragment's evaluator (the expensive dependency
+// analysis runs inside the pool, in parallel across fragments) and
+// applies the per-fragment unique-identifier presets of §4.3.
+func (r *rt) initFrag(f *frag) {
+	// Per-fragment handle range, as in the simulated cluster: stores
+	// from a fragment are sequential (one worker drives it at a time),
+	// and ranges of distinct fragments never collide. Only librarian
+	// runs need one (HandleBase bounds-checks the id; Run has validated
+	// the decomposition width when the librarian is in play).
+	if r.useLib {
+		f.store = r.lib.Range(rope.HandleBase(f.id))
+	}
+	hooks := eval.Hooks{
+		NoPriority: r.opts.NoPriority,
+		OnRemoteInh: func(leaf *tree.Node, attr int, v ag.Value) {
+			if r.uidBase[cluster.AttrKey{Sym: leaf.Sym, Attr: attr}] && r.opts.UIDPreset {
+				// The child derives unique identifiers from its own
+				// base; no need to propagate the chain (§4.3).
+				return
+			}
+			child := r.frags[leaf.RemoteID]
+			r.post(child, message{node: child.root, attr: attr, val: r.outbound(f, leaf.Sym, attr, v)})
+		},
+		OnRootSyn: func(attr int, v ag.Value) {
+			if f.id == 0 {
+				// Root fragment: results go to the caller. Only the
+				// worker driving fragment 0 writes here.
+				r.rootAttrs[attr] = v
+				return
+			}
+			if r.uidCount[cluster.AttrKey{Sym: f.root.Sym, Attr: attr}] && r.opts.UIDPreset {
+				// The parent pre-supplied our identifier count as zero.
+				return
+			}
+			parent := r.frags[f.parent]
+			r.post(parent, message{node: r.leafOf[f.id], attr: attr, val: r.outbound(f, f.root.Sym, attr, v)})
+		},
+	}
+	switch r.opts.Mode {
+	case cluster.Dynamic:
+		f.ev = eval.NewDynamic(r.job.G, f.root, hooks)
+	default:
+		f.ev = eval.NewCombined(r.job.A, f.root, hooks)
+	}
+	if r.opts.UIDPreset {
+		for _, k := range r.job.UIDs {
+			if k.Sym == f.root.Sym && f.id != 0 {
+				f.ev.Supply(f.root, k.Base, cluster.UIDBaseFor(f.id))
+			}
+			for _, leaf := range f.leaves {
+				if k.Sym == leaf.Sym {
+					f.ev.Supply(leaf, k.Count, 0)
+				}
+			}
+		}
+	}
+}
+
+// outbound prepares an attribute value for another fragment. Code
+// attributes are converted to librarian descriptors when the librarian
+// is enabled; everything else is shared directly (attribute values are
+// immutable).
+func (r *rt) outbound(f *frag, sym *ag.Symbol, attr int, v ag.Value) ag.Value {
+	if !r.useLib || v == nil {
+		return v
+	}
+	if _, ok := sym.Attrs[attr].Codec.(rope.ShipCodec); !ok {
+		return v
+	}
+	code, ok := v.(rope.Code)
+	if !ok {
+		return v
+	}
+	return rope.ToDescriptor(code, f.store)
+}

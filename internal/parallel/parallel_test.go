@@ -1,0 +1,267 @@
+package parallel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pag/internal/ag"
+	"pag/internal/cluster"
+	"pag/internal/exprlang"
+	"pag/internal/parallel"
+	"pag/internal/pascal"
+	"pag/internal/rope"
+	"pag/internal/workload"
+)
+
+func exprJob(t *testing.T, src string) cluster.Job {
+	t.Helper()
+	l := exprlang.MustNew()
+	a, err := ag.Analyze(l.G)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	root, err := l.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return cluster.Job{G: l.G, A: a, Root: root, Lex: l.TerminalAttrs}
+}
+
+func pascalJob(t *testing.T, cfg workload.Config) cluster.Job {
+	t.Helper()
+	job, err := pascal.MustNew().ClusterJob(workload.Generate(cfg))
+	if err != nil {
+		t.Fatalf("ClusterJob: %v", err)
+	}
+	return job
+}
+
+// TestParallelMatchesClusterExprlang checks that the real runtime and
+// the simulated cluster agree on the appendix grammar for every mode
+// and worker count.
+func TestParallelMatchesClusterExprlang(t *testing.T) {
+	job := exprJob(t, exprlang.Generate(8, 6))
+	for _, mode := range []cluster.Mode{cluster.Combined, cluster.Dynamic} {
+		for _, w := range []int{1, 2, 4, 6} {
+			sim, err := cluster.Run(job, cluster.Options{Machines: w, Mode: mode})
+			if err != nil {
+				t.Fatalf("cluster %v x%d: %v", mode, w, err)
+			}
+			real, err := parallel.Run(job, parallel.Options{Workers: w, Mode: mode})
+			if err != nil {
+				t.Fatalf("parallel %v x%d: %v", mode, w, err)
+			}
+			if got, want := fmt.Sprint(real.RootAttrs[exprlang.AttrValue]), fmt.Sprint(sim.RootAttrs[exprlang.AttrValue]); got != want {
+				t.Errorf("%v x%d: value = %s, want %s", mode, w, got, want)
+			}
+			if real.Frags != sim.Frags {
+				t.Errorf("%v x%d: frags = %d, cluster had %d", mode, w, real.Frags, sim.Frags)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesClusterPascal checks byte-identical generated code
+// on the Pascal compiler, with and without the librarian and the
+// unique-identifier preset, across worker counts.
+func TestParallelMatchesClusterPascal(t *testing.T) {
+	job := pascalJob(t, workload.Small())
+	for _, lib := range []bool{true, false} {
+		for _, preset := range []bool{true, false} {
+			for _, w := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("lib=%v/preset=%v/workers=%d", lib, preset, w)
+				sim, err := cluster.Run(job, cluster.Options{
+					Machines: w, Mode: cluster.Combined, Librarian: lib, UIDPreset: preset,
+				})
+				if err != nil {
+					t.Fatalf("%s: cluster: %v", name, err)
+				}
+				real, err := parallel.Run(job, parallel.Options{
+					Workers: w, Mode: cluster.Combined, Librarian: lib, UIDPreset: preset,
+				})
+				if err != nil {
+					t.Fatalf("%s: parallel: %v", name, err)
+				}
+				if real.Program == "" {
+					t.Fatalf("%s: empty program", name)
+				}
+				if real.Program != sim.Program {
+					t.Errorf("%s: parallel program differs from cluster program (%d vs %d bytes)",
+						name, len(real.Program), len(sim.Program))
+				}
+				if lib && w > 1 && real.StoredStrings == 0 {
+					t.Errorf("%s: librarian enabled but no strings stored", name)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelManyWorkersAndFragments exercises the pool under -race
+// with more fragments than workers and at least 4 workers, repeatedly,
+// so schedules vary.
+func TestParallelManyWorkersAndFragments(t *testing.T) {
+	job := pascalJob(t, workload.Small())
+	ref, err := cluster.Run(job, cluster.Options{
+		Machines: 16, Mode: cluster.Combined, Librarian: true, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := parallel.Run(job, parallel.Options{
+			Workers: 4, Fragments: 16, Mode: cluster.Combined, Librarian: true, UIDPreset: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Frags <= 4 {
+			t.Fatalf("expected an oversubscribed pool, got %d fragments", res.Frags)
+		}
+		if res.Program != ref.Program {
+			t.Fatalf("iteration %d: program differs from 16-machine cluster output", i)
+		}
+	}
+}
+
+// TestParallelDeterministic runs the same job twice and checks that
+// results (values, program, statistics) are identical regardless of
+// goroutine scheduling.
+func TestParallelDeterministic(t *testing.T) {
+	job := pascalJob(t, workload.Tiny())
+	opts := parallel.Options{Workers: 8, Mode: cluster.Combined, Librarian: true, UIDPreset: true}
+	a, err := parallel.Run(job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.Run(job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Program != b.Program {
+		t.Error("nondeterministic program text")
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("nondeterministic stats: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Messages != b.Messages {
+		t.Errorf("nondeterministic message count: %d vs %d", a.Messages, b.Messages)
+	}
+}
+
+// TestParallelDynamicModePascal checks the purely dynamic evaluator
+// path end to end on the Pascal grammar.
+func TestParallelDynamicModePascal(t *testing.T) {
+	job := pascalJob(t, workload.Tiny())
+	sim, err := cluster.Run(job, cluster.Options{
+		Machines: 4, Mode: cluster.Dynamic, Librarian: true, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := parallel.Run(job, parallel.Options{
+		Workers: 4, Mode: cluster.Dynamic, Librarian: true, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Program != sim.Program {
+		t.Error("dynamic-mode parallel program differs from cluster program")
+	}
+	if real.Stats.DynamicEvals == 0 || real.Stats.StaticEvals != 0 {
+		t.Errorf("dynamic mode stats look wrong: %+v", real.Stats)
+	}
+}
+
+// TestParallelCombinedNeedsAnalysis mirrors the cluster's validation.
+func TestParallelCombinedNeedsAnalysis(t *testing.T) {
+	job := exprJob(t, "1+2")
+	job.A = nil
+	if _, err := parallel.Run(job, parallel.Options{Workers: 2, Mode: cluster.Combined}); err == nil {
+		t.Fatal("expected an error for combined mode without analysis")
+	}
+}
+
+// TestParallelHugeFragmentRequest checks that asking for more
+// fragments than the librarian has handle ranges is fine as long as
+// the tree does not actually decompose that wide (the guard is on the
+// decomposition, not the request), with and without the librarian.
+func TestParallelHugeFragmentRequest(t *testing.T) {
+	job := pascalJob(t, workload.Tiny())
+	for _, lib := range []bool{true, false} {
+		res, err := parallel.Run(job, parallel.Options{
+			Workers: 2, Fragments: rope.MaxHandleRanges + 1, Librarian: lib, UIDPreset: true,
+		})
+		if err != nil {
+			t.Fatalf("librarian=%v: %v", lib, err)
+		}
+		if res.Frags > rope.MaxHandleRanges {
+			t.Fatalf("librarian=%v: tiny tree decomposed into %d fragments", lib, res.Frags)
+		}
+		if res.Program == "" {
+			t.Fatalf("librarian=%v: empty program", lib)
+		}
+	}
+}
+
+// TestParallelStatsMatchCluster checks that the work done (attribute
+// instances evaluated statically/dynamically) matches the simulated
+// cluster exactly — same decomposition, same evaluators, same split of
+// labour, modulo per-fragment bookkeeping order.
+func TestParallelStatsMatchCluster(t *testing.T) {
+	job := pascalJob(t, workload.Small())
+	sim, err := cluster.Run(job, cluster.Options{
+		Machines: 5, Mode: cluster.Combined, Librarian: true, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := parallel.Run(job, parallel.Options{
+		Workers: 5, Mode: cluster.Combined, Librarian: true, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Stats.DynamicEvals != sim.Stats.DynamicEvals ||
+		real.Stats.StaticEvals != sim.Stats.StaticEvals {
+		t.Errorf("work split differs: parallel %d/%d dynamic/static, cluster %d/%d",
+			real.Stats.DynamicEvals, real.Stats.StaticEvals,
+			sim.Stats.DynamicEvals, sim.Stats.StaticEvals)
+	}
+	for i := range real.PerFrag {
+		if real.PerFrag[i].StaticEvals != sim.PerFrag[i].StaticEvals {
+			t.Errorf("fragment %d: static evals %d, cluster %d",
+				i, real.PerFrag[i].StaticEvals, sim.PerFrag[i].StaticEvals)
+		}
+	}
+}
+
+// TestParallelRootCodeAttrIsResolvable checks that the exposed root
+// code attribute never leaks librarian handles: FlattenCode with a nil
+// lookup (the codebase-wide idiom) must work on it.
+func TestParallelRootCodeAttrIsResolvable(t *testing.T) {
+	job := pascalJob(t, workload.Tiny())
+	for _, lib := range []bool{true, false} {
+		res, err := parallel.Run(job, parallel.Options{
+			Workers: 4, Librarian: lib, UIDPreset: true,
+		})
+		if err != nil {
+			t.Fatalf("librarian=%v: %v", lib, err)
+		}
+		// Find the code attribute: the one whose flattened form equals
+		// the program.
+		found := false
+		for _, v := range res.RootAttrs {
+			c, isCode := v.(rope.Code)
+			if !isCode {
+				continue
+			}
+			if got := rope.FlattenCode(c, nil); got == res.Program {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("librarian=%v: no root attribute flattens (with nil lookup) to the program", lib)
+		}
+	}
+}

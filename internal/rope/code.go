@@ -156,39 +156,20 @@ func (c CodeCodec) Decode(data []byte) (any, error) {
 }
 
 // EncodeShip implements ShipCodec: maximal local text runs are stored
-// at the librarian; the result encodes the ordered handle list.
+// at the librarian (via ToDescriptor, the one copy of the run
+// aggregation logic); the result encodes the ordered handle list.
 func (c CodeCodec) EncodeShip(store func(text string) int32, v any) ([]byte, error) {
 	code, err := asCode(v)
 	if err != nil {
 		return nil, err
 	}
-	type leaf struct {
-		h int32
-		n int
-	}
-	var leaves []leaf
-	var run strings.Builder
-	flush := func() {
-		if run.Len() == 0 {
-			return
-		}
-		s := run.String()
-		run.Reset()
-		leaves = append(leaves, leaf{h: store(s), n: len(s)})
-	}
-	WalkCode(code,
-		func(s string) { run.WriteString(s) },
-		func(h int32, n int) {
-			flush()
-			leaves = append(leaves, leaf{h: h, n: n})
-		})
-	flush()
+	d := ToDescriptor(code, store)
 	var buf []byte
-	buf = binary.AppendUvarint(buf, uint64(len(leaves)))
-	for _, l := range leaves {
-		buf = binary.AppendVarint(buf, int64(l.h))
-		buf = binary.AppendUvarint(buf, uint64(l.n))
-	}
+	buf = binary.AppendUvarint(buf, uint64(d.NumHandles()))
+	d.walk(nil, func(h int32, n int) {
+		buf = binary.AppendVarint(buf, int64(h))
+		buf = binary.AppendUvarint(buf, uint64(n))
+	})
 	return buf, nil
 }
 

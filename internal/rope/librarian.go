@@ -1,0 +1,129 @@
+package rope
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Librarian is a shared-memory, thread-safe string librarian: the §4.3
+// string-librarian process reimagined for a multicore runtime. Instead
+// of a process receiving store messages over the network, evaluator
+// goroutines deposit runs of generated text directly under a mutex and
+// pass O(1)-sized descriptors between fragments; the final program is
+// spliced once from the store.
+//
+// Handles are assigned from per-caller ranges (Range) so concurrent
+// evaluators never contend on a shared counter and handle values stay
+// deterministic per fragment.
+//
+// A single mutex is deliberate: stores happen once per maximal run of
+// generated text, which the rope representation keeps to a handful per
+// compilation (single digits on the paper's Pascal workload), so the
+// librarian is nowhere near the evaluation hot path.
+type Librarian struct {
+	mu    sync.RWMutex
+	store map[int32]string
+	bytes int
+}
+
+// NewLibrarian returns an empty librarian.
+func NewLibrarian() *Librarian {
+	return &Librarian{store: make(map[int32]string)}
+}
+
+// Handle-range layout shared by both runtimes: evaluator (fragment or
+// machine) id maps to a private range of 2^HandleRangeBits handles.
+// A range runs out only after a million-odd discrete stores by one
+// evaluator, which the maximal-run aggregation above makes unreachable
+// in practice.
+const (
+	// HandleRangeBits is the width of one evaluator's handle range.
+	HandleRangeBits = 20
+	// MaxHandleRanges is how many disjoint ranges fit in a positive
+	// int32; runtimes must not use more evaluators than this with a
+	// librarian (ranges would wrap and collide silently).
+	MaxHandleRanges = 1 << (31 - HandleRangeBits)
+	// RangeCap is how many handles one range may hand out before its
+	// store function fails; every store path shares this one cap.
+	RangeCap = 1<<HandleRangeBits - 1
+)
+
+// rangeCap is RangeCap as a variable, only so tests can lower it (the
+// real value is unreachable in practice, see above).
+var rangeCap = int32(RangeCap)
+
+// HandleBase returns the first handle of evaluator id's private range.
+// id must be in [0, MaxHandleRanges).
+func HandleBase(id int) int32 {
+	if id < 0 || id >= MaxHandleRanges {
+		panic(fmt.Sprintf("rope: handle range %d out of bounds [0, %d)", id, MaxHandleRanges))
+	}
+	return int32(id) << HandleRangeBits
+}
+
+// Range returns a store function that deposits text under handles
+// base+1, base+2, ... — one private handle range per evaluator, exactly
+// like the per-machine handle ranges of the simulated cluster. The
+// returned function must be used from a single goroutine; distinct
+// ranges may store concurrently.
+func (l *Librarian) Range(base int32) func(text string) int32 {
+	next := base
+	return func(text string) int32 {
+		if next-base >= rangeCap {
+			// Out of private handles: fail loudly rather than walk into
+			// the neighbouring range and corrupt its strings silently.
+			panic(fmt.Sprintf("rope: handle range starting at %d exhausted", base))
+		}
+		next++
+		l.mu.Lock()
+		l.store[next] = text
+		l.bytes += len(text)
+		l.mu.Unlock()
+		return next
+	}
+}
+
+// Lookup returns the text stored under h (empty if absent).
+func (l *Librarian) Lookup(h int32) string {
+	l.mu.RLock()
+	s := l.store[h]
+	l.mu.RUnlock()
+	return s
+}
+
+// Stored returns how many strings and how many bytes of text have been
+// deposited.
+func (l *Librarian) Stored() (count, bytes int) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.store), l.bytes
+}
+
+// ToDescriptor converts a Code value into a pure Descriptor: maximal
+// runs of local text are deposited via store and replaced by their
+// handles, and handles already present (descriptors received from other
+// evaluators) are kept as-is. It is the shared-memory analogue of
+// CodeCodec.EncodeShip — the value crossing the fragment boundary has
+// size proportional to the number of referenced runs, not the text
+// length. A nil Code yields a nil (empty) Descriptor.
+func ToDescriptor(c Code, store func(text string) int32) *Descriptor {
+	var d *Descriptor
+	var run strings.Builder
+	flush := func() {
+		if run.Len() == 0 {
+			return
+		}
+		s := run.String()
+		run.Reset()
+		d = ConcatDesc(d, HandleDesc(store(s), len(s)))
+	}
+	WalkCode(c,
+		func(s string) { run.WriteString(s) },
+		func(h int32, n int) {
+			flush()
+			d = ConcatDesc(d, HandleDesc(h, n))
+		})
+	flush()
+	return d
+}

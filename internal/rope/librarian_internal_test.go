@@ -1,0 +1,26 @@
+package rope
+
+import "testing"
+
+// TestRangeExhaustionPanics checks that running out of a private
+// handle range fails loudly instead of colliding with the next range.
+// The capacity is lowered for the test; reaching the real 2^20 bound
+// would need a million stores.
+func TestRangeExhaustionPanics(t *testing.T) {
+	defer func(old int32) { rangeCap = old }(rangeCap)
+	rangeCap = 3
+
+	lib := NewLibrarian()
+	store := lib.Range(0)
+	for i := 0; i < 3; i++ {
+		if h := store("x"); h != int32(i+1) {
+			t.Fatalf("store %d: handle %d", i, h)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic on range exhaustion")
+		}
+	}()
+	store("overflow")
+}

@@ -1,0 +1,91 @@
+package rope_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pag/internal/rope"
+)
+
+// TestLibrarianConcurrentStores has many goroutines deposit text under
+// private handle ranges concurrently (run with -race) and checks every
+// stored string resolves correctly afterwards.
+func TestLibrarianConcurrentStores(t *testing.T) {
+	lib := rope.NewLibrarian()
+	const (
+		goroutines = 8
+		perG       = 200
+	)
+	var wg sync.WaitGroup
+	handles := make([][]int32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			store := lib.Range(rope.HandleBase(g))
+			for i := 0; i < perG; i++ {
+				handles[g] = append(handles[g], store(fmt.Sprintf("g%d-%d;", g, i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	count, bytes := lib.Stored()
+	if count != goroutines*perG {
+		t.Fatalf("stored %d strings, want %d", count, goroutines*perG)
+	}
+	if bytes == 0 {
+		t.Fatal("no bytes recorded")
+	}
+	for g := range handles {
+		for i, h := range handles[g] {
+			if got, want := lib.Lookup(h), fmt.Sprintf("g%d-%d;", g, i); got != want {
+				t.Fatalf("Lookup(%d) = %q, want %q", h, got, want)
+			}
+		}
+	}
+}
+
+// TestToDescriptorRoundTrip checks that converting a mixed Code value
+// (local text + handles from another evaluator) to a descriptor and
+// resolving it reproduces exactly the flattened text.
+func TestToDescriptorRoundTrip(t *testing.T) {
+	lib := rope.NewLibrarian()
+	remoteStore := lib.Range(rope.HandleBase(1))
+
+	// A "child fragment" ships some code as a descriptor.
+	child := rope.CatCode(rope.Text("child-a;"), rope.Text("child-b;"))
+	childDesc := rope.ToDescriptor(child, remoteStore)
+	if childDesc.NumHandles() != 1 {
+		t.Fatalf("adjacent text runs should merge into one handle, got %d", childDesc.NumHandles())
+	}
+
+	// The "parent" splices it between local text and re-ships.
+	parent := rope.CatCode(rope.Text("head;"), childDesc, rope.Text("tail;"))
+	want := "head;child-a;child-b;tail;"
+	if got := rope.FlattenCode(parent, lib.Lookup); got != want {
+		t.Fatalf("FlattenCode = %q, want %q", got, want)
+	}
+	parentDesc := rope.ToDescriptor(parent, lib.Range(rope.HandleBase(2)))
+	if got, want := parentDesc.Len(), len(want); got != want {
+		t.Fatalf("descriptor length %d, want %d", got, want)
+	}
+	if got := parentDesc.Resolve(lib.Lookup); got != want {
+		t.Fatalf("Resolve = %q, want %q", got, want)
+	}
+	// The child's run is referenced, not copied: 3 handles (head, child, tail).
+	if parentDesc.NumHandles() != 3 {
+		t.Fatalf("parent descriptor has %d handles, want 3", parentDesc.NumHandles())
+	}
+}
+
+// TestToDescriptorEmpty checks nil and empty Code values.
+func TestToDescriptorEmpty(t *testing.T) {
+	lib := rope.NewLibrarian()
+	if d := rope.ToDescriptor(nil, lib.Range(0)); d.Len() != 0 {
+		t.Fatalf("nil code described %d bytes", d.Len())
+	}
+	if count, _ := lib.Stored(); count != 0 {
+		t.Fatalf("nil code stored %d strings", count)
+	}
+}

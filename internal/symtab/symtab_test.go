@@ -3,6 +3,7 @@ package symtab_test
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -143,5 +144,41 @@ func TestLookupNeverInventsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentReadersAndDerivers checks the property the real
+// parallel runtime (internal/parallel) relies on: applicative tables
+// are immutable, so any number of goroutines may look up a shared table
+// and derive new tables from it concurrently without synchronization.
+// Run with -race.
+func TestConcurrentReadersAndDerivers(t *testing.T) {
+	base := symtab.New()
+	for i := 0; i < 64; i++ {
+		base = base.Add(fmt.Sprintf("shared%02d", i), i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := base
+			for i := 0; i < 64; i++ {
+				// Readers see the shared structure...
+				if v, ok := base.Lookup(fmt.Sprintf("shared%02d", i)); !ok || v != i {
+					t.Errorf("goroutine %d: shared%02d = %v, %v", g, i, v, ok)
+					return
+				}
+				// ...while derivers extend it privately.
+				local = local.Add(fmt.Sprintf("g%d-%d", g, i), g*1000+i)
+			}
+			if local.Len() != base.Len()+64 {
+				t.Errorf("goroutine %d: derived table has %d entries, want %d", g, local.Len(), base.Len()+64)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if base.Len() != 64 {
+		t.Errorf("base table mutated: %d entries, want 64", base.Len())
 	}
 }

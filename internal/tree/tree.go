@@ -145,6 +145,20 @@ func (n *Node) Clone() *Node {
 	return nn
 }
 
+// RemoteLeaves returns the remote leaves of the subtree in tree
+// (preorder) order — the fragment's interface to the subtrees evaluated
+// elsewhere. Runtimes use it to route attribute messages by fragment id
+// deterministically.
+func RemoteLeaves(root *Node) []*Node {
+	var out []*Node
+	root.Walk(func(n *Node) {
+		if n.Remote {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
 // Spine returns the set of nodes lying on a path from root to some
 // remote leaf, including root itself if any remote leaf exists. These
 // are exactly the nodes the combined evaluator processes dynamically

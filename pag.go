@@ -30,6 +30,7 @@ import (
 	"pag/internal/cluster"
 	"pag/internal/eval"
 	"pag/internal/netsim"
+	"pag/internal/parallel"
 	"pag/internal/rope"
 	"pag/internal/symtab"
 	"pag/internal/trace"
@@ -140,6 +141,26 @@ func Compile(job Job, opts Options) (*Result, error) { return cluster.Run(job, o
 // DefaultHardware returns the paper's testbed: SUN-2-class machines on
 // a 10 Mbit/s shared Ethernet under a V-System-like message layer.
 func DefaultHardware() Hardware { return netsim.DefaultHardware() }
+
+// Real multicore runtime (internal/parallel).
+type (
+	// ParallelOptions configures the shared-memory parallel runtime.
+	ParallelOptions = parallel.Options
+	// ParallelResult reports a real parallel compilation: wall time,
+	// statistics and the produced program.
+	ParallelResult = parallel.Result
+)
+
+// CompileParallel runs one compilation on the real shared-memory
+// parallel runtime: the tree is decomposed exactly as in Compile, but
+// fragments are evaluated by a pool of worker goroutines on real CPU
+// cores, attribute values travel between fragments over channels, and
+// code strings are assembled by a concurrent string librarian. Given
+// opts.Workers == Options.Machines, the produced program is
+// byte-identical to Compile's.
+func CompileParallel(job Job, opts ParallelOptions) (*ParallelResult, error) {
+	return parallel.Run(job, opts)
+}
 
 // Support libraries (§4.3 of the paper).
 type (
