@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel lint fmt check figures clean
+# Benchmarks tracked in the BENCH_*.json perf trajectory.
+BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath
+BENCH_BASELINE = BENCH_PR2.json
+
+.PHONY: all build test race bench bench-parallel bench-json benchstat lint fmt check figures clean
 
 all: build
 
@@ -23,6 +27,19 @@ bench:
 # Real-multicore speedup benchmark only (paper workload, 1/2/4/8 workers).
 bench-parallel:
 	$(GO) test -run 'XXX' -bench BenchmarkParallelPascal ./...
+
+# Regenerate the committed benchmark baseline for this PR.
+bench-json:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_TRACKED)' -benchtime 2s -o $(BENCH_BASELINE)
+
+# Before/after comparison against the committed baseline: measures the
+# tracked suite into a scratch file and diffs it. Uses the offline
+# benchstat substitute built into cmd/benchjson, so it needs no
+# external tools; if you have golang.org/x/perf benchstat installed,
+# raw `go test -bench` output still works with it as usual.
+benchstat:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_TRACKED)' -benchtime 2s -o /tmp/bench-new.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) /tmp/bench-new.json
 
 lint:
 	$(GO) vet ./...

@@ -8,12 +8,15 @@ package pag_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
+	"pag/internal/ag"
 	"pag/internal/arena"
 	"pag/internal/cluster"
 	"pag/internal/eval"
 	"pag/internal/experiments"
+	"pag/internal/exprlang"
 	"pag/internal/parallel"
 	"pag/internal/rope"
 	"pag/internal/symtab"
@@ -268,6 +271,71 @@ func BenchmarkT12Arena(b *testing.B) {
 			sink = n
 		}
 		_ = sink
+	})
+}
+
+// BenchmarkHotPath isolates the evaluation hot path from rule work:
+// pure-arithmetic attribute rules (interned ints, shared empty symbol
+// table) over a fixed tree, so ns/op and allocs/op measure the
+// evaluator machinery itself. The static-visit steady state must stay
+// at 0 allocs/op; the build+run cases bound the per-compilation graph
+// construction cost.
+func BenchmarkHotPath(b *testing.B) {
+	l := exprlang.MustNew()
+	a, err := ag.Analyze(l.G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var src strings.Builder
+	src.WriteString("1")
+	for i := 0; i < 300; i++ {
+		src.WriteString("+2*(3+4)")
+	}
+	root, err := l.Parse(src.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances := root.CountAttrs()
+
+	b.Run("static-visit", func(b *testing.B) {
+		st := eval.NewStatic(a, eval.Hooks{})
+		visits := a.NumVisits(root.Sym)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for v := 1; v <= visits; v++ {
+				st.Visit(root, v)
+			}
+		}
+		b.ReportMetric(float64(instances), "instances")
+	})
+	b.Run("dynamic-build-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := eval.NewDynamic(l.G, root, eval.Hooks{})
+			if d.Run(); !d.Done() {
+				b.Fatal("evaluator blocked")
+			}
+		}
+		b.ReportMetric(float64(instances), "instances")
+	})
+	b.Run("combined-build-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := eval.NewCombined(a, root, eval.Hooks{})
+			if c.Run(); !c.Done() {
+				b.Fatal("evaluator blocked")
+			}
+		}
+		b.ReportMetric(float64(instances), "instances")
+	})
+	b.Run("tree-clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if root.Clone() == nil {
+				b.Fatal("nil clone")
+			}
+		}
 	})
 }
 

@@ -155,6 +155,28 @@ type Plan struct {
 	Segments [][]VisitOp
 }
 
+// CompiledOp is one fully resolved step of a compiled visit sequence.
+// For an eval op, Rule points directly at the defining rule and
+// TargetOcc/TargetAttr name the defined occurrence, so the static
+// evaluator's inner loop performs no RuleFor table lookups. For a visit
+// op, Rule is nil and Child/Visit carry the (1-based) child occurrence
+// and child visit number.
+type CompiledOp struct {
+	Rule                  *Rule
+	TargetOcc, TargetAttr int32
+	Child, Visit          int32
+}
+
+// CompiledPlan is the compiled form of a production's visit sequence:
+// the same segments as Plan, with every operation resolved to rule
+// pointers. It is built once per production during Analyze and shared
+// by every evaluator instance, so oversubscribed parallel runs never
+// recompute (or re-resolve) identical plans per fragment.
+type CompiledPlan struct {
+	Prod     *Production
+	Segments [][]CompiledOp
+}
+
 // Analysis is the result of the OAG analysis of a grammar: the
 // attribute dependency summaries, visit phases per symbol, and visit
 // sequences (plans) per production. It is computed once per grammar
@@ -171,6 +193,8 @@ type Analysis struct {
 	visitOf [][]int
 	// plans[prod.Index] is the production's visit sequence.
 	plans []*Plan
+	// compiled[prod.Index] is the rule-resolved form of the plan.
+	compiled []*CompiledPlan
 	// ds[sym.Index] is the transitive induced dependency relation
 	// between the symbol's attributes (IDS closure).
 	ds []rel
@@ -188,6 +212,35 @@ func (a *Analysis) VisitOf(sym *Symbol, attr int) int { return a.visitOf[sym.Ind
 
 // Plan returns the visit sequence of production p.
 func (a *Analysis) Plan(p *Production) *Plan { return a.plans[p.Index] }
+
+// Compiled returns the compiled (rule-resolved) visit sequence of
+// production p.
+func (a *Analysis) Compiled(p *Production) *CompiledPlan { return a.compiled[p.Index] }
+
+// compilePlan resolves every eval op of plan to its rule pointer.
+func compilePlan(plan *Plan) *CompiledPlan {
+	cp := &CompiledPlan{Prod: plan.Prod, Segments: make([][]CompiledOp, len(plan.Segments))}
+	for v, seg := range plan.Segments {
+		if len(seg) == 0 {
+			continue
+		}
+		ops := make([]CompiledOp, len(seg))
+		for i, op := range seg {
+			switch op.Kind {
+			case OpEval:
+				ops[i] = CompiledOp{
+					Rule:       plan.Prod.RuleFor(op.Occ, op.Attr),
+					TargetOcc:  int32(op.Occ),
+					TargetAttr: int32(op.Attr),
+				}
+			default:
+				ops[i] = CompiledOp{Child: int32(op.Child), Visit: int32(op.Visit)}
+			}
+		}
+		cp.Segments[v] = ops
+	}
+	return cp
+}
 
 // DependsTransitively reports whether attribute b of sym transitively
 // depends on attribute a in some parse tree (per the IDS fixpoint).
@@ -278,12 +331,14 @@ func Analyze(g *Grammar) (*Analysis, error) {
 
 	// --- Visit sequences per production --------------------------------
 	a.plans = make([]*Plan, len(g.Prods))
+	a.compiled = make([]*CompiledPlan, len(g.Prods))
 	for pi, p := range g.Prods {
 		plan, err := a.buildPlan(p, graphs[pi])
 		if err != nil {
 			return nil, err
 		}
 		a.plans[pi] = plan
+		a.compiled[pi] = compilePlan(plan)
 	}
 	return a, nil
 }

@@ -197,8 +197,14 @@ type Grammar struct {
 	Prods   []*Production
 	Start   *Symbol
 
-	byName map[string]*Symbol
+	byName  map[string]*Symbol
+	maxArgs int
 }
+
+// MaxRuleArgs returns the largest dependency count of any rule in the
+// grammar. Evaluators size their scratch argument buffers from it once,
+// so the evaluation loop never allocates per rule application.
+func (g *Grammar) MaxRuleArgs() int { return g.maxArgs }
 
 // SymbolNamed returns the symbol with the given name, or nil.
 func (g *Grammar) SymbolNamed(name string) *Symbol { return g.byName[name] }
@@ -281,6 +287,9 @@ func (g *Grammar) finish() error {
 				if err := g.checkRef(p, d); err != nil {
 					return fmt.Errorf("ag: %s rule %d dep %d: %w", p, ri, di, err)
 				}
+			}
+			if len(r.Deps) > g.maxArgs {
+				g.maxArgs = len(r.Deps)
 			}
 		}
 		// Completeness: every LHS-synthesized and RHS-inherited

@@ -1,0 +1,33 @@
+package ag
+
+// Interned boxes for the small scalar values that dominate attribute
+// traffic (sizes, offsets, label counters, error counts). Storing an
+// int in an ag.Value (an interface) normally heap-allocates the box;
+// the Go runtime only interns values below 256. Semantic rules that
+// return ints should go through IntValue so the steady-state evaluator
+// loop stays allocation-free on the dominant int/bool attributes.
+const (
+	internMin = -256
+	internMax = 8192
+)
+
+var smallInts [internMax - internMin]Value
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = i + internMin
+	}
+}
+
+// IntValue boxes an int without allocating for the common small range
+// [-256, 8192). Values outside the range box normally.
+func IntValue(i int) Value {
+	if i >= internMin && i < internMax {
+		return smallInts[i-internMin]
+	}
+	return i
+}
+
+// BoolValue boxes a bool. Both values are interned by the Go runtime,
+// so this never allocates; it exists for symmetry with IntValue.
+func BoolValue(b bool) Value { return b }

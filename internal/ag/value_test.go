@@ -1,0 +1,33 @@
+package ag_test
+
+import (
+	"testing"
+
+	"pag/internal/ag"
+)
+
+func TestIntValueRoundTrip(t *testing.T) {
+	for _, i := range []int{-300, -256, -1, 0, 1, 255, 256, 4096, 8191, 8192, 1 << 30} {
+		v := ag.IntValue(i)
+		if got, ok := v.(int); !ok || got != i {
+			t.Errorf("IntValue(%d) = %v", i, v)
+		}
+	}
+}
+
+func TestIntValueInternsSmallRange(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := -256; i < 8192; i += 64 {
+			_ = ag.IntValue(i)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("IntValue allocates %.1f times over the interned range; want 0", allocs)
+	}
+}
+
+func TestBoolValue(t *testing.T) {
+	if ag.BoolValue(true) != true || ag.BoolValue(false) != false {
+		t.Error("BoolValue does not round-trip")
+	}
+}

@@ -38,3 +38,48 @@ func (a *Arena[T]) Reset() {
 	a.used = 0
 	a.total = 0
 }
+
+// Slab is a bump allocator for exact-length slices of T: Make carves
+// each requested slice out of large backing slabs, so allocating n
+// small slices costs O(n/slabSize) heap allocations instead of n. The
+// zero value is ready to use. Like Arena, a Slab never frees individual
+// slices and is not safe for concurrent use; each fragment evaluator
+// owns its own.
+type Slab[T any] struct {
+	buf   []T
+	used  int
+	total int
+}
+
+// Make returns a zeroed slice of length and capacity n with slab
+// lifetime. The capacity is exact, so appending to the result copies
+// instead of bleeding into a neighbouring carve.
+func (s *Slab[T]) Make(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if n >= slabSize {
+		// Oversized requests get their own allocation; the current
+		// slab's remaining capacity stays available for small carves.
+		s.total += n
+		return make([]T, n)
+	}
+	if s.used+n > len(s.buf) {
+		s.buf = make([]T, slabSize)
+		s.used = 0
+	}
+	out := s.buf[s.used : s.used+n : s.used+n]
+	s.used += n
+	s.total += n
+	return out
+}
+
+// Allocated returns the total number of elements handed out.
+func (s *Slab[T]) Allocated() int { return s.total }
+
+// Reset drops all slabs, releasing every carve at once.
+func (s *Slab[T]) Reset() {
+	s.buf = nil
+	s.used = 0
+	s.total = 0
+}

@@ -57,3 +57,48 @@ func TestArenaReset(t *testing.T) {
 		t.Error("arena unusable after Reset")
 	}
 }
+
+func TestSlabMakeExactCapacity(t *testing.T) {
+	var s arena.Slab[int]
+	a := s.Make(3)
+	b := s.Make(4)
+	if len(a) != 3 || cap(a) != 3 || len(b) != 4 || cap(b) != 4 {
+		t.Fatalf("carves have wrong shape: len/cap %d/%d and %d/%d", len(a), cap(a), len(b), cap(b))
+	}
+	// Appending to a full-capacity carve must copy, not clobber b.
+	a = append(a, 99)
+	if b[0] != 0 {
+		t.Errorf("append to one carve bled into the next: b[0] = %d", b[0])
+	}
+	if s.Allocated() != 7 {
+		t.Errorf("Allocated = %d, want 7", s.Allocated())
+	}
+}
+
+func TestSlabLargeAndZeroRequests(t *testing.T) {
+	var s arena.Slab[byte]
+	if got := s.Make(0); got != nil {
+		t.Errorf("Make(0) = %v, want nil", got)
+	}
+	big := s.Make(5000) // larger than one slab
+	if len(big) != 5000 {
+		t.Fatalf("len = %d", len(big))
+	}
+	big[4999] = 1
+	next := s.Make(8)
+	if len(next) != 8 || next[0] != 0 {
+		t.Errorf("allocation after oversized carve broken: len=%d first=%d", len(next), next[0])
+	}
+}
+
+func TestSlabAllocationCount(t *testing.T) {
+	var s arena.Slab[int32]
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 256; i++ {
+			s.Make(4) // 1024 elements per slab => 1 heap allocation
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("256 carves cost %.0f allocations; want <= 1", allocs)
+	}
+}

@@ -204,6 +204,14 @@ func Run(job Job, opts Options) (*Result, error) {
 	if opts.Machines < 1 {
 		return nil, fmt.Errorf("cluster: need at least 1 machine, got %d", opts.Machines)
 	}
+	// Validate the requested machine count against the librarian's
+	// handle-range layout before simulating anything: each evaluator
+	// machine claims a private handle range, and a wider librarian run
+	// would panic mid-simulation claiming an out-of-range handle base.
+	if opts.Librarian && opts.Machines > rope.MaxHandleRanges {
+		return nil, fmt.Errorf("cluster: %d machines exceed the librarian's %d handle ranges",
+			opts.Machines, rope.MaxHandleRanges)
+	}
 	if opts.Mode == 0 {
 		opts.Mode = Combined
 	}
@@ -240,12 +248,10 @@ func Run(job Job, opts Options) (*Result, error) {
 		}
 	}
 	// Identify the code attribute of the start symbol (ship codec).
+	// The decomposition is never wider than the validated machine
+	// count, so librarian handle ranges cannot run out here.
 	codeAttr := CodeAttr(job.G)
 	useLib := opts.Librarian && codeAttr >= 0
-	if useLib && decomp.NumFragments() > rope.MaxHandleRanges {
-		return nil, fmt.Errorf("cluster: %d fragments exceed the librarian's %d handle ranges",
-			decomp.NumFragments(), rope.MaxHandleRanges)
-	}
 
 	uidBase := map[AttrKey]bool{}
 	uidCount := map[AttrKey]bool{}

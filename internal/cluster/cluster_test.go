@@ -8,6 +8,7 @@ import (
 	"pag/internal/cluster"
 	"pag/internal/exprlang"
 	"pag/internal/netsim"
+	"pag/internal/rope"
 	"pag/internal/tree"
 )
 
@@ -192,5 +193,18 @@ func TestGranularityControlsFragmentCount(t *testing.T) {
 	if coarse.NumFragments() >= fine.NumFragments() {
 		t.Errorf("coarse granularity produced %d frags, fine %d",
 			coarse.NumFragments(), fine.NumFragments())
+	}
+}
+
+// TestClusterHugeMachineRequest checks that asking for more evaluator
+// machines than the librarian has handle ranges is rejected up front
+// when the librarian is enabled (each machine claims a private handle
+// range; more machines than ranges would collide silently).
+func TestClusterHugeMachineRequest(t *testing.T) {
+	job, _ := exprJob(t, "1+2")
+	if _, err := cluster.Run(job, cluster.Options{
+		Machines: rope.MaxHandleRanges + 1, Librarian: true,
+	}); err == nil {
+		t.Fatal("expected an error for a machine count wider than the handle ranges")
 	}
 }

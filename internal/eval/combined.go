@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pag/internal/ag"
+	"pag/internal/arena"
 	"pag/internal/tree"
 )
 
@@ -16,8 +17,8 @@ import (
 // are entered into the dynamic dependency graph.
 type staticChild struct {
 	node       *tree.Node
-	nextVisit  int   // next visit to run, 1-based
-	pendingInh []int // per phase: inherited attrs not yet available
+	nextVisit  int     // next visit to run, 1-based
+	pendingInh []int32 // per phase: inherited attrs not yet available
 }
 
 // Combined is the paper's combined static/dynamic evaluator (§2.4,
@@ -26,24 +27,21 @@ type staticChild struct {
 // spine — in particular every bottom fragment — is evaluated by the
 // static ordered evaluator, with no dependency analysis at all.
 type Combined struct {
-	a     *ag.Analysis
-	root  *tree.Node
-	hooks Hooks
-	st    *Static
+	a  *ag.Analysis
+	g  graph
+	st *Static
 
-	// rootStatic is non-nil when the fragment has no remote leaves:
-	// the entire fragment is one static subtree driven by the arrival
-	// of the root's inherited phases.
-	rootStatic *staticChild
+	// rootStatic indicates the fragment has no remote leaves: the
+	// entire fragment is one static subtree (kids[0]) driven by the
+	// arrival of the root's inherited phases.
+	rootStatic bool
 
-	insts     map[inst]*instInfo
-	order     []inst
-	children  map[*tree.Node]*staticChild
-	ready     []inst
-	readyPrio []inst
-	stats     Stats
-	defined   int
-	evaluated int
+	// kids holds the static children in tree (preorder) order; childOf
+	// maps a subtree root to its index. Slices into kids are only taken
+	// after construction, when the slice has stopped growing.
+	kids    []staticChild
+	childOf map[*tree.Node]int32
+	inhSlab arena.Slab[int32]
 }
 
 // NewCombined builds a combined evaluator for the fragment rooted at
@@ -52,13 +50,8 @@ type Combined struct {
 // tree ("less than N percent of the attributes are evaluated
 // dynamically", §4.1).
 func NewCombined(a *ag.Analysis, root *tree.Node, hooks Hooks) *Combined {
-	c := &Combined{
-		a:        a,
-		root:     root,
-		hooks:    hooks,
-		insts:    make(map[inst]*instInfo),
-		children: make(map[*tree.Node]*staticChild),
-	}
+	c := &Combined{a: a, childOf: make(map[*tree.Node]int32)}
+	c.g.init(root, a.G.MaxRuleArgs(), hooks)
 	c.st = NewStatic(a, Hooks{Charge: hooks.Charge})
 
 	spine := tree.Spine(root)
@@ -66,101 +59,56 @@ func NewCombined(a *ag.Analysis, root *tree.Node, hooks Hooks) *Combined {
 		// Entirely local fragment: pure static evaluation, gated on the
 		// root's inherited phases ("all bottom subtrees are evaluated
 		// entirely statically", §4.1).
-		c.rootStatic = c.newStaticChild(root)
+		c.rootStatic = true
+		c.addStaticChild(root)
 		return c
 	}
 	// Dynamic instances for the rules of every spine node. Children of
 	// spine nodes that are off-spine nonterminals become static
 	// subtrees; their synthesized attributes are produced by visits.
+	// Discovery order is tree (preorder) order, which keeps the drain
+	// deterministic.
+	var scanned []*tree.Node
 	var build func(n *tree.Node)
 	build = func(n *tree.Node) {
 		if !spine[n] {
 			return
 		}
-		c.addNodeRules(n)
+		scanned = append(scanned, n)
+		c.g.scanNodeRules(n)
 		for _, ch := range n.Children {
 			switch {
 			case ch.Remote, ch.Sym.Terminal:
 			case spine[ch]:
 				build(ch)
 			default:
-				c.children[ch] = c.newStaticChild(ch)
+				c.addStaticChild(ch)
 			}
 		}
 	}
 	build(root)
-	for _, key := range c.order {
-		if info := c.insts[key]; info.remaining == 0 {
-			c.push(key)
+	c.g.finishBuild(scanned)
+	// An inherited attribute of a static child's root may enable its
+	// next static visit.
+	c.g.onInhAvail = func(n *tree.Node, attr int) {
+		if idx, ok := c.childOf[n]; ok {
+			sc := &c.kids[idx]
+			ph := c.a.VisitOf(n.Sym, attr)
+			sc.pendingInh[ph-1]--
+			c.runStaticChild(sc, false)
 		}
 	}
 	return c
 }
 
-func (c *Combined) newStaticChild(n *tree.Node) *staticChild {
+func (c *Combined) addStaticChild(n *tree.Node) {
 	phases := c.a.Phases(n.Sym)
-	sc := &staticChild{node: n, nextVisit: 1, pendingInh: make([]int, len(phases))}
+	sc := staticChild{node: n, nextVisit: 1, pendingInh: c.inhSlab.Make(len(phases))}
 	for v, ph := range phases {
-		sc.pendingInh[v] = len(ph.Inh)
+		sc.pendingInh[v] = int32(len(ph.Inh))
 	}
-	return sc
-}
-
-func (c *Combined) info(i inst) *instInfo {
-	if in, ok := c.insts[i]; ok {
-		return in
-	}
-	in := &instInfo{}
-	c.insts[i] = in
-	c.stats.GraphNodes++
-	c.hooks.charge(CostGraphNode)
-	return in
-}
-
-func (c *Combined) addNodeRules(n *tree.Node) {
-	p := n.Prod
-	for ri := range p.Rules {
-		r := &p.Rules[ri]
-		t := resolve(n, r.Target)
-		ti := c.info(t)
-		ti.rule = r
-		ti.home = n
-		c.defined++
-		c.order = append(c.order, t)
-		for _, dep := range r.Deps {
-			di := resolve(n, dep)
-			if di.n.Sym.Terminal {
-				continue // scanner-supplied, always available
-			}
-			dinfo := c.info(di)
-			dinfo.dependents = append(dinfo.dependents, t)
-			ti.remaining++
-			c.stats.GraphEdges++
-			c.hooks.charge(CostGraphEdge)
-		}
-	}
-}
-
-func (c *Combined) push(i inst) {
-	if i.n.Sym.Attrs[i.a].Priority && !c.hooks.NoPriority {
-		c.readyPrio = append(c.readyPrio, i)
-	} else {
-		c.ready = append(c.ready, i)
-	}
-}
-
-func (c *Combined) pop() (inst, bool) {
-	if len(c.readyPrio) > 0 {
-		i := c.readyPrio[0]
-		c.readyPrio = c.readyPrio[1:]
-		return i, true
-	}
-	if len(c.ready) > 0 {
-		i := c.ready[0]
-		c.ready = c.ready[1:]
-		return i, true
-	}
-	return inst{}, false
+	c.childOf[n] = int32(len(c.kids))
+	c.kids = append(c.kids, sc)
 }
 
 // Run evaluates everything that is ready: dynamic spine instances in
@@ -169,70 +117,20 @@ func (c *Combined) pop() (inst, bool) {
 // if the fragment depends on remote attributes, Run must be
 // interleaved with Supply until Done reports true.
 func (c *Combined) Run() int {
-	if c.rootStatic != nil {
-		c.runStaticChild(c.rootStatic, true)
+	if c.rootStatic {
+		c.runStaticChild(&c.kids[0], true)
 		return 0
 	}
 	c.drainStaticChildren()
-	count := 0
-	for {
-		i, ok := c.pop()
-		if !ok {
-			return count
-		}
-		c.evaluate(i)
-		count++
-	}
+	return c.g.run()
 }
 
 // drainStaticChildren starts visits on static children whose first
-// phases need no inherited attributes.
+// phases need no inherited attributes. Children are stored in tree
+// order, so the drain is deterministic.
 func (c *Combined) drainStaticChildren() {
-	// Children are discovered via spine rules; iterate in tree order
-	// for determinism.
-	c.root.Walk(func(n *tree.Node) {
-		if sc, ok := c.children[n]; ok {
-			c.runStaticChild(sc, false)
-		}
-	})
-}
-
-func (c *Combined) evaluate(i inst) {
-	info := c.insts[i]
-	args := make([]ag.Value, len(info.rule.Deps))
-	for k, dep := range info.rule.Deps {
-		args[k] = resolve(info.home, dep).value()
-	}
-	v := info.rule.Eval(args)
-	i.n.Attrs[i.a] = v
-	c.hooks.charge(info.rule.SimCost(args) + CostSchedule)
-	c.stats.DynamicEvals++
-	c.evaluated++
-	c.markAvail(i, info, v)
-}
-
-func (c *Combined) markAvail(i inst, info *instInfo, v ag.Value) {
-	info.avail = true
-	attr := i.n.Sym.Attrs[i.a]
-	if i.n.Remote && attr.Kind == ag.Inherited && c.hooks.OnRemoteInh != nil {
-		c.hooks.OnRemoteInh(i.n, i.a, v)
-	}
-	if i.n == c.root && attr.Kind == ag.Synthesized && c.hooks.OnRootSyn != nil {
-		c.hooks.OnRootSyn(i.a, v)
-	}
-	// An inherited attribute of a static child may enable its next
-	// static visit.
-	if sc, ok := c.children[i.n]; ok && attr.Kind == ag.Inherited {
-		ph := c.a.VisitOf(i.n.Sym, i.a)
-		sc.pendingInh[ph-1]--
-		c.runStaticChild(sc, false)
-	}
-	for _, dep := range info.dependents {
-		dinfo := c.insts[dep]
-		dinfo.remaining--
-		if dinfo.remaining == 0 && dinfo.rule != nil {
-			c.push(dep)
-		}
+	for i := range c.kids {
+		c.runStaticChild(&c.kids[i], false)
 	}
 }
 
@@ -249,14 +147,13 @@ func (c *Combined) runStaticChild(sc *staticChild, isRoot bool) {
 		for _, ai := range phases[v-1].Syn {
 			val := sc.node.Attrs[ai]
 			if isRoot {
-				if c.hooks.OnRootSyn != nil {
-					c.hooks.OnRootSyn(ai, val)
+				if c.g.hooks.OnRootSyn != nil {
+					c.g.hooks.OnRootSyn(ai, val)
 				}
 				continue
 			}
-			i := inst{sc.node, ai}
-			if info, ok := c.insts[i]; ok && !info.avail {
-				c.markAvail(i, info, val)
+			if i, ok := c.g.lookup(sc.node, ai); ok && c.g.infos[i].present && !c.g.infos[i].avail {
+				c.g.markAvail(i, val)
 			}
 		}
 	}
@@ -267,34 +164,33 @@ func (c *Combined) runStaticChild(sc *staticChild, isRoot bool) {
 // root.
 func (c *Combined) Supply(n *tree.Node, attr int, v ag.Value) {
 	n.Attrs[attr] = v
-	c.stats.Supplied++
-	c.hooks.charge(CostSupply)
-	if c.rootStatic != nil {
-		if n != c.root {
-			panic(fmt.Sprintf("eval: Supply(%s) to fully static fragment rooted at %s", n.Sym, c.root.Sym))
+	c.g.stats.Supplied++
+	c.g.hooks.charge(CostSupply)
+	if c.rootStatic {
+		if n != c.g.root {
+			panic(fmt.Sprintf("eval: Supply(%s) to fully static fragment rooted at %s", n.Sym, c.g.root.Sym))
 		}
 		ph := c.a.VisitOf(n.Sym, attr)
-		c.rootStatic.pendingInh[ph-1]--
+		c.kids[0].pendingInh[ph-1]--
 		return
 	}
-	i := inst{n, attr}
-	info, ok := c.insts[i]
-	if !ok || info.avail {
+	i, ok := c.g.lookup(n, attr)
+	if !ok || !c.g.infos[i].present || c.g.infos[i].avail {
 		return
 	}
-	c.markAvail(i, info, v)
+	c.g.markAvail(i, v)
 }
 
 // Done reports whether all local attribute instances are evaluated.
 func (c *Combined) Done() bool {
-	if c.rootStatic != nil {
-		return c.rootStatic.nextVisit > len(c.a.Phases(c.root.Sym))
+	if c.rootStatic {
+		return c.kids[0].nextVisit > len(c.a.Phases(c.g.root.Sym))
 	}
-	if c.evaluated != c.defined {
+	if c.g.evaluated != c.g.defined {
 		return false
 	}
-	for _, sc := range c.children {
-		if sc.nextVisit <= len(c.a.Phases(sc.node.Sym)) {
+	for i := range c.kids {
+		if c.kids[i].nextVisit <= len(c.a.Phases(c.kids[i].node.Sym)) {
 			return false
 		}
 	}
@@ -302,20 +198,12 @@ func (c *Combined) Done() bool {
 }
 
 // Blocked lists blocked dynamic instances for deadlock diagnostics.
-func (c *Combined) Blocked() []string {
-	var out []string
-	for _, key := range c.order {
-		if info := c.insts[key]; !info.avail {
-			out = append(out, fmt.Sprintf("%s (missing %d)", key, info.remaining))
-		}
-	}
-	return out
-}
+func (c *Combined) Blocked() []string { return c.g.blocked() }
 
 // Stats returns evaluation statistics, merging the static visits run on
 // off-spine subtrees with the dynamic spine evaluation.
 func (c *Combined) Stats() Stats {
-	s := c.stats
+	s := c.g.stats
 	s.Add(c.st.Stats())
 	return s
 }

@@ -1,217 +1,81 @@
 package eval
 
 import (
-	"fmt"
-
 	"pag/internal/ag"
 	"pag/internal/tree"
 )
-
-// instInfo is one dependency-graph node of the dynamic evaluator.
-type instInfo struct {
-	rule       *ag.Rule   // rule defining this instance; nil for inputs
-	home       *tree.Node // node owning the defining production
-	remaining  int        // dependencies not yet available
-	dependents []inst     // instances unblocked when this one arrives
-	avail      bool
-}
 
 // Dynamic is the purely dynamic evaluator of paper §2.3 / Figure 1: it
 // builds the complete attribute dependency graph of its fragment, then
 // evaluates attributes in topological order as they become ready.
 // Attributes computed by other evaluators (synthesized attributes of
 // remote leaves; inherited attributes of the fragment root) are marked
-// unavailable until supplied over the network.
+// unavailable until supplied over the network. The graph lives in a
+// flat instance table (see graph), so the evaluation loop itself is
+// allocation-free.
 type Dynamic struct {
-	g     *ag.Grammar
-	root  *tree.Node
-	hooks Hooks
-	stats Stats
-
-	insts     map[inst]*instInfo
-	order     []inst // defined instances in tree order, for determinism
-	ready     []inst // normal ready queue (FIFO)
-	readyPrio []inst // priority attributes jump the queue (paper §4.3)
-	defined   int    // instances with a defining rule
-	evaluated int
+	g graph
 }
 
 // NewDynamic builds the dependency graph for the fragment rooted at
 // root ("dependency analysis", Figure 1). This is the expensive step
 // that static evaluation avoids; its simulated cost is charged here.
-func NewDynamic(g *ag.Grammar, root *tree.Node, hooks Hooks) *Dynamic {
-	d := &Dynamic{
-		g:     g,
-		root:  root,
-		hooks: hooks,
-		insts: make(map[inst]*instInfo),
-	}
+func NewDynamic(gr *ag.Grammar, root *tree.Node, hooks Hooks) *Dynamic {
+	d := &Dynamic{}
+	d.g.init(root, gr.MaxRuleArgs(), hooks)
+	var scanned []*tree.Node
 	root.Walk(func(n *tree.Node) {
 		switch {
 		case n.Remote, n.Sym.Terminal:
-			// Interface instances created on demand below.
+			// Interface instances are registered on demand by the scan.
 		default:
-			d.addNodeRules(n)
+			scanned = append(scanned, n)
+			d.g.scanNodeRules(n)
 		}
 	})
-	// Seed the ready queue in deterministic (tree) order. Remote-leaf
-	// synthesized attributes and fragment-root inherited attributes
-	// stay unavailable until supplied over the network.
-	for _, key := range d.order {
-		if info := d.insts[key]; info.remaining == 0 {
-			d.push(key)
-		}
-	}
+	// Link dependents and seed the ready queue in deterministic (tree)
+	// order. Remote-leaf synthesized attributes and fragment-root
+	// inherited attributes stay unavailable until supplied over the
+	// network.
+	d.g.finishBuild(scanned)
 	return d
-}
-
-func (d *Dynamic) info(i inst) *instInfo {
-	if in, ok := d.insts[i]; ok {
-		return in
-	}
-	in := &instInfo{}
-	d.insts[i] = in
-	d.stats.GraphNodes++
-	d.hooks.charge(CostGraphNode)
-	return in
-}
-
-func (d *Dynamic) addNodeRules(n *tree.Node) {
-	p := n.Prod
-	for ri := range p.Rules {
-		r := &p.Rules[ri]
-		t := resolve(n, r.Target)
-		ti := d.info(t)
-		ti.rule = r
-		ti.home = n
-		d.defined++
-		d.order = append(d.order, t)
-		for _, dep := range r.Deps {
-			di := resolve(n, dep)
-			if di.n.Sym.Terminal {
-				// Scanner-supplied attribute: preset before evaluation
-				// starts, so it never appears in the dependency graph.
-				continue
-			}
-			dinfo := d.info(di)
-			dinfo.dependents = append(dinfo.dependents, t)
-			ti.remaining++
-			d.stats.GraphEdges++
-			d.hooks.charge(CostGraphEdge)
-		}
-	}
-}
-
-func (d *Dynamic) push(i inst) {
-	if i.n.Sym.Attrs[i.a].Priority && !d.hooks.NoPriority {
-		d.readyPrio = append(d.readyPrio, i)
-	} else {
-		d.ready = append(d.ready, i)
-	}
-}
-
-func (d *Dynamic) pop() (inst, bool) {
-	if len(d.readyPrio) > 0 {
-		i := d.readyPrio[0]
-		d.readyPrio = d.readyPrio[1:]
-		return i, true
-	}
-	if len(d.ready) > 0 {
-		i := d.ready[0]
-		d.ready = d.ready[1:]
-		return i, true
-	}
-	return inst{}, false
 }
 
 // Run evaluates every ready attribute instance, in topological order,
 // until the worklist drains. It returns the number of instances
 // evaluated. If the fragment depends on remote attributes, Run must be
 // interleaved with Supply until Done reports true.
-func (d *Dynamic) Run() int {
-	count := 0
-	for {
-		i, ok := d.pop()
-		if !ok {
-			return count
-		}
-		d.evaluate(i)
-		count++
-	}
-}
-
-func (d *Dynamic) evaluate(i inst) {
-	info := d.insts[i]
-	args := make([]ag.Value, len(info.rule.Deps))
-	for k, dep := range info.rule.Deps {
-		args[k] = resolve(info.home, dep).value()
-	}
-	v := info.rule.Eval(args)
-	i.n.Attrs[i.a] = v
-	d.hooks.charge(info.rule.SimCost(args) + CostSchedule)
-	d.stats.DynamicEvals++
-	d.evaluated++
-	d.markAvail(i, info, v)
-}
-
-func (i inst) value() ag.Value { return i.n.Attrs[i.a] }
-
-func (d *Dynamic) markAvail(i inst, info *instInfo, v ag.Value) {
-	info.avail = true
-	attr := i.n.Sym.Attrs[i.a]
-	if i.n.Remote && attr.Kind == ag.Inherited && d.hooks.OnRemoteInh != nil {
-		d.hooks.OnRemoteInh(i.n, i.a, v)
-	}
-	if i.n == d.root && attr.Kind == ag.Synthesized && d.hooks.OnRootSyn != nil {
-		d.hooks.OnRootSyn(i.a, v)
-	}
-	for _, dep := range info.dependents {
-		dinfo := d.insts[dep]
-		dinfo.remaining--
-		if dinfo.remaining == 0 && dinfo.rule != nil {
-			d.push(dep)
-		}
-	}
-}
+func (d *Dynamic) Run() int { return d.g.run() }
 
 // Supply injects an attribute value computed by another evaluator: a
 // synthesized attribute of a remote leaf, or an inherited attribute of
 // the fragment root. The caller should Run afterwards.
 func (d *Dynamic) Supply(n *tree.Node, attr int, v ag.Value) {
-	i := inst{n, attr}
-	info, ok := d.insts[i]
-	if !ok {
+	i, ok := d.g.lookup(n, attr)
+	if !ok || !d.g.infos[i].present {
 		// Nothing in this fragment depends on the value; record it
 		// anyway for completeness.
 		n.Attrs[attr] = v
 		return
 	}
-	if info.avail {
+	if d.g.infos[i].avail {
 		return
 	}
 	n.Attrs[attr] = v
-	d.stats.Supplied++
-	d.hooks.charge(CostSupply)
-	d.markAvail(i, info, v)
+	d.g.stats.Supplied++
+	d.g.hooks.charge(CostSupply)
+	d.g.markAvail(i, v)
 }
 
 // Done reports whether every locally defined attribute instance has
 // been evaluated.
-func (d *Dynamic) Done() bool { return d.evaluated == d.defined }
+func (d *Dynamic) Done() bool { return d.g.evaluated == d.g.defined }
 
 // Pending returns how many defined instances are still blocked.
-func (d *Dynamic) Pending() int { return d.defined - d.evaluated }
+func (d *Dynamic) Pending() int { return d.g.defined - d.g.evaluated }
 
 // Blocked lists blocked instances (for deadlock diagnostics).
-func (d *Dynamic) Blocked() []string {
-	var out []string
-	for _, key := range d.order {
-		if info := d.insts[key]; !info.avail {
-			out = append(out, fmt.Sprintf("%s (missing %d)", key, info.remaining))
-		}
-	}
-	return out
-}
+func (d *Dynamic) Blocked() []string { return d.g.blocked() }
 
 // Stats returns evaluation statistics.
-func (d *Dynamic) Stats() Stats { return d.stats }
+func (d *Dynamic) Stats() Stats { return d.g.stats }

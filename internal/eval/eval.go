@@ -10,7 +10,6 @@
 package eval
 
 import (
-	"fmt"
 	"time"
 
 	"pag/internal/ag"
@@ -111,23 +110,4 @@ type FragmentEvaluator interface {
 	Blocked() []string
 	// Stats returns evaluation statistics.
 	Stats() Stats
-}
-
-// inst identifies one attribute instance: attribute a of tree node n.
-type inst struct {
-	n *tree.Node
-	a int
-}
-
-func (i inst) String() string {
-	return fmt.Sprintf("%s.%s", i.n.Sym.Name, i.n.Sym.Attrs[i.a].Name)
-}
-
-// resolve maps an attribute reference of the production at home to the
-// tree node carrying the instance.
-func resolve(home *tree.Node, r ag.AttrRef) inst {
-	if r.Occ == 0 {
-		return inst{home, r.Attr}
-	}
-	return inst{home.Children[r.Occ-1], r.Attr}
 }

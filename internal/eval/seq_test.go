@@ -1,0 +1,48 @@
+package eval_test
+
+import (
+	"testing"
+
+	"pag/internal/eval"
+	"pag/internal/exprlang"
+	"pag/internal/symtab"
+	"pag/internal/tree"
+)
+
+// TestTwoEvaluatorsOverSameFragment pins down an edge of the flat
+// instance tables: constructing a second evaluator over the same
+// subtree renumbers the nodes' Seq workspace, and the first evaluator
+// must fall back to its own numbering (side map) instead of silently
+// dropping Supply calls — which would leave it blocked forever.
+func TestTwoEvaluatorsOverSameFragment(t *testing.T) {
+	l := exprlang.MustNew()
+	root, err := l.Parse(exprlang.Generate(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var block *tree.Node
+	root.Walk(func(n *tree.Node) {
+		if block == nil && n.Sym.Name == "block" {
+			block = n
+		}
+	})
+	if block == nil {
+		t.Fatal("generated source has no block subtree")
+	}
+	stabAttr := block.Sym.AttrIndex("stab")
+
+	d1 := eval.NewDynamic(l.G, block, eval.Hooks{})
+	d1.Run()
+	if d1.Done() {
+		t.Fatal("fragment completed before its inherited attribute arrived")
+	}
+	// The rival evaluator overwrites every Seq in the subtree.
+	d2 := eval.NewDynamic(l.G, block, eval.Hooks{})
+	_ = d2
+
+	d1.Supply(block, stabAttr, symtab.New())
+	d1.Run()
+	if !d1.Done() {
+		t.Fatalf("first evaluator lost its instance table to the second; blocked: %v", d1.Blocked())
+	}
+}

@@ -10,16 +10,20 @@ import (
 // Static is the static ordered evaluator of paper §2.3 / Figure 3: a
 // collection of visit procedures, one per production, that walk the
 // tree in the order precomputed by the OAG analysis. It performs no
-// dependency analysis at evaluation time.
+// dependency analysis at evaluation time, and — driving the compiled
+// visit sequences cached per production by the analysis — no rule
+// lookups and no allocation either: rule arguments pass through one
+// reusable scratch buffer.
 type Static struct {
-	a     *ag.Analysis
-	hooks Hooks
-	stats Stats
+	a      *ag.Analysis
+	hooks  Hooks
+	stats  Stats
+	argbuf []ag.Value // scratch for rule arguments; rules must not retain it
 }
 
 // NewStatic returns a static evaluator over the given grammar analysis.
 func NewStatic(a *ag.Analysis, hooks Hooks) *Static {
-	return &Static{a: a, hooks: hooks}
+	return &Static{a: a, hooks: hooks, argbuf: make([]ag.Value, a.G.MaxRuleArgs())}
 }
 
 // EvaluateTree evaluates every attribute instance of a complete local
@@ -48,27 +52,31 @@ func (s *Static) EvaluateTree(root *tree.Node) error {
 // The inherited attributes of n's phases 1..v must already be set.
 // After Visit returns, the synthesized attributes of phase v are set.
 func (s *Static) Visit(n *tree.Node, v int) {
-	plan := s.a.Plan(n.Prod)
-	for _, op := range plan.Segments[v-1] {
-		switch op.Kind {
-		case ag.OpEval:
+	plan := s.a.Compiled(n.Prod)
+	for i := range plan.Segments[v-1] {
+		op := &plan.Segments[v-1][i]
+		if op.Rule != nil {
 			s.evalOp(n, op)
-		case ag.OpVisit:
+		} else {
 			s.hooks.charge(CostVisit)
-			s.Visit(n.Children[op.Child-1], op.Visit)
+			s.Visit(n.Children[op.Child-1], int(op.Visit))
 		}
 	}
 }
 
-func (s *Static) evalOp(n *tree.Node, op ag.VisitOp) {
-	rule := n.Prod.RuleFor(op.Occ, op.Attr)
-	args := make([]ag.Value, len(rule.Deps))
+func (s *Static) evalOp(n *tree.Node, op *ag.CompiledOp) {
+	rule := op.Rule
+	args := s.argbuf[:len(rule.Deps)]
 	for k, dep := range rule.Deps {
-		args[k] = resolve(n, dep).value()
+		dn, da := resolveNode(n, dep)
+		args[k] = dn.Attrs[da]
 	}
 	val := rule.Eval(args)
-	target := resolve(n, ag.AttrRef{Occ: op.Occ, Attr: op.Attr})
-	target.n.Attrs[target.a] = val
+	target := n
+	if op.TargetOcc > 0 {
+		target = n.Children[op.TargetOcc-1]
+	}
+	target.Attrs[op.TargetAttr] = val
 	s.hooks.charge(rule.SimCost(args) + CostStaticOp)
 	s.stats.StaticEvals++
 }

@@ -151,13 +151,13 @@ func New() (*Lang, error) {
 		ag.Def("1.stab", func([]ag.Value) ag.Value { return symtab.New() }),
 	)
 	l.PAdd = b.Production(l.Expr, []*ag.Symbol{l.Expr, l.Plus, l.Expr},
-		ag.Def("value", func(a []ag.Value) ag.Value { return a[0].(int) + a[1].(int) },
+		ag.Def("value", func(a []ag.Value) ag.Value { return ag.IntValue(a[0].(int) + a[1].(int)) },
 			"1.value", "3.value").WithCost(arithCost),
 		ag.Copy("1.stab", "stab"),
 		ag.Copy("3.stab", "stab"),
 	)
 	l.PMul = b.Production(l.Expr, []*ag.Symbol{l.Expr, l.Star, l.Expr},
-		ag.Def("value", func(a []ag.Value) ag.Value { return a[0].(int) * a[1].(int) },
+		ag.Def("value", func(a []ag.Value) ag.Value { return ag.IntValue(a[0].(int) * a[1].(int)) },
 			"1.value", "3.value").WithCost(arithCost),
 		ag.Copy("1.stab", "stab"),
 		ag.Copy("3.stab", "stab"),

@@ -1,0 +1,78 @@
+package parallel
+
+import "testing"
+
+// mailboxPair builds two fragment actors wired to a runtime, with the
+// receiver marked queued so delivery exercises only the mailbox path
+// (no scheduler push).
+func mailboxPair() (*rt, *frag, *frag) {
+	r := &rt{sched: newSched(1)}
+	from := &frag{id: 0}
+	to := &frag{id: 1, queued: true}
+	r.frags = []*frag{from, to}
+	return r, from, to
+}
+
+// drain empties to's mailbox exactly the way step does: the whole
+// inbox under one lock, the drained buffer recycled for the next round.
+func drain(to *frag) []message {
+	to.mu.Lock()
+	msgs := to.inbox
+	to.inbox = to.spare[:0]
+	to.mu.Unlock()
+	to.spare = msgs
+	return msgs
+}
+
+// TestMailboxBatchDeliveryAllocFree locks in the zero-allocation
+// steady state of batched mailbox delivery: once the inbox and batch
+// buffers are warm, shipping a batch of attribute messages and
+// draining them performs no allocation. A return to per-message
+// posting or per-drain buffer churn fails this immediately.
+func TestMailboxBatchDeliveryAllocFree(t *testing.T) {
+	r, from, to := mailboxPair()
+	batch := make([]message, 8)
+	for i := 0; i < 2; i++ { // warm the inbox capacity
+		r.postBatch(from, to, batch)
+		drain(to)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.postBatch(from, to, batch)
+		if got := drain(to); len(got) != len(batch) {
+			t.Fatalf("drained %d messages, want %d", len(got), len(batch))
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("mailbox batch delivery allocates %.1f times per batch; want 0", allocs)
+	}
+}
+
+// TestMailboxDropsAfterDone checks that batches to completed fragments
+// are dropped but still counted as messages (the counter feeds the
+// deterministic Result.Messages).
+func TestMailboxDropsAfterDone(t *testing.T) {
+	r, from, to := mailboxPair()
+	to.done = true
+	r.postBatch(from, to, make([]message, 3))
+	if n := len(to.inbox); n != 0 {
+		t.Errorf("done fragment accepted %d messages", n)
+	}
+	if got := r.messages.Load(); got != 3 {
+		t.Errorf("message counter = %d, want 3", got)
+	}
+}
+
+// BenchmarkMailboxDelivery measures the per-batch cost of the mailbox
+// hot path (one lock per batch, zero allocations).
+func BenchmarkMailboxDelivery(b *testing.B) {
+	r, from, to := mailboxPair()
+	batch := make([]message, 8)
+	r.postBatch(from, to, batch)
+	drain(to)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.postBatch(from, to, batch)
+		drain(to)
+	}
+}

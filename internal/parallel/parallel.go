@@ -11,12 +11,18 @@
 //     goroutines. Each tree fragment is an actor owning one combined or
 //     dynamic evaluator (internal/eval); a fragment is scheduled onto a
 //     worker whenever it has unprocessed input, and at most one worker
-//     drives a given fragment at a time.
-//   - V-System IPC becomes message passing over a run queue and
-//     per-fragment mailboxes: inherited attributes of remote subtrees
-//     and synthesized attributes of fragment roots travel between
-//     fragments as plain Go values (attribute values are immutable by
-//     the purity requirement on semantic rules, so sharing is safe).
+//     drives a given fragment at a time. Runnable fragments sit in
+//     per-worker work-stealing deques (local LIFO push/pop, random
+//     steal), not a single shared run queue.
+//   - V-System IPC becomes message passing over per-fragment mailboxes:
+//     inherited attributes of remote subtrees and synthesized
+//     attributes of fragment roots travel between fragments as plain Go
+//     values (attribute values are immutable by the purity requirement
+//     on semantic rules, so sharing is safe). Messages are batched: a
+//     fragment buffers its outbound values per destination while it
+//     evaluates and delivers each batch under a single mailbox lock,
+//     and the receiver drains its whole inbox under one acquisition.
+//     Priority attributes (§4.3) skip the batch and ship immediately.
 //   - The string librarian process becomes rope.Librarian, a
 //     mutex-protected store: evaluators deposit generated text and
 //     exchange O(1)-sized rope descriptors; the final program is
@@ -54,6 +60,10 @@ type Options struct {
 	Mode cluster.Mode
 	// Librarian routes code attributes through a shared rope.Librarian:
 	// fragments exchange O(1) descriptors instead of rope structure.
+	// With the librarian enabled the effective Fragments request (and
+	// hence the worker count it defaults from) must not exceed
+	// rope.MaxHandleRanges; Run rejects wider requests up front rather
+	// than risk silent handle-range collisions.
 	Librarian bool
 	// Granularity is the minimum linearized subtree size for a split;
 	// 0 derives it from the tree size and fragment count.
@@ -74,10 +84,20 @@ type Result struct {
 	// Program is the final code text, spliced via the librarian when
 	// enabled, if the grammar has a code attribute.
 	Program string
-	// WallTime is the real elapsed time of the run (split, evaluate,
-	// splice), as measured on this machine — the number the simulated
-	// cluster can only estimate.
+	// WallTime is the real elapsed time of the whole run, as measured
+	// on this machine — the number the simulated cluster can only
+	// estimate. It is the sum of the three phases below.
 	WallTime time.Duration
+	// SplitTime covers the parser side: cloning the tree, decomposing
+	// it and setting up the fragment actors.
+	SplitTime time.Duration
+	// EvalTime is the parallel attribute evaluation proper: from the
+	// moment the worker pool starts until it reaches quiescence. This
+	// is the phase the paper's running-time figures measure.
+	EvalTime time.Duration
+	// SpliceTime covers assembling the final program text (librarian
+	// splice / rope flatten) after evaluation.
+	SpliceTime time.Duration
 	// Stats aggregates evaluator statistics across fragments.
 	Stats eval.Stats
 	// PerFrag holds per-fragment evaluator statistics.
@@ -103,6 +123,15 @@ type message struct {
 	val  ag.Value
 }
 
+// outBatch buffers messages bound for one destination fragment. A
+// fragment's destinations are fixed (its parent and its children), so
+// the batches and their backing arrays are reused across steps and the
+// steady state allocates nothing.
+type outBatch struct {
+	target *frag
+	msgs   []message
+}
+
 // frag is one fragment actor. The scheduler guarantees at most one
 // worker executes step on a fragment at a time; inbox, queued and done
 // are the only cross-goroutine state and are guarded by mu.
@@ -114,9 +143,17 @@ type frag struct {
 
 	mu     sync.Mutex
 	inbox  []message
+	spare  []message // drained buffer, swapped back in next drain
 	queued bool
 	done   bool
 
+	// curWorker is the worker currently driving this fragment; only
+	// that worker reads it (from hook callbacks), and only the driving
+	// worker writes it at step entry.
+	curWorker int
+
+	out   []outBatch
+	prio  [1]message             // scratch for immediate (priority) sends
 	ev    eval.FragmentEvaluator // created on first step, in a worker
 	store func(text string) int32
 	stats eval.Stats
@@ -134,7 +171,7 @@ type rt struct {
 	uidBase  map[cluster.AttrKey]bool
 	uidCount map[cluster.AttrKey]bool
 
-	runq     chan int
+	sched    *sched
 	pending  atomic.Int64 // queued or running fragments; 0 = quiescent
 	doneCnt  atomic.Int64
 	messages atomic.Int64
@@ -158,6 +195,16 @@ func Run(job cluster.Job, opts Options) (*Result, error) {
 	if opts.Fragments <= 0 {
 		opts.Fragments = opts.Workers
 	}
+	// Validate the requested decomposition width against the
+	// librarian's handle-range layout before doing any work: a wider
+	// librarian run would panic mid-evaluation when a fragment claims
+	// an out-of-range handle base. Rejecting the request up front (for
+	// any librarian run, whether or not the grammar routes a code
+	// attribute through it) turns that crash into an error.
+	if opts.Librarian && opts.Fragments > rope.MaxHandleRanges {
+		return nil, fmt.Errorf("parallel: %d fragments (from %d workers) exceed the librarian's %d handle ranges",
+			opts.Fragments, opts.Workers, rope.MaxHandleRanges)
+	}
 	start := time.Now()
 
 	// The parser side: clone and decompose, same policy as the cluster.
@@ -168,13 +215,11 @@ func Run(job cluster.Job, opts Options) (*Result, error) {
 	}
 	decomp := tree.Decompose(root, gran, opts.Fragments)
 
-	// Identify the code attribute of the start symbol.
+	// Identify the code attribute of the start symbol. The
+	// decomposition is never wider than the validated Fragments
+	// request, so librarian handle ranges cannot run out here.
 	codeAttr := cluster.CodeAttr(job.G)
 	useLib := opts.Librarian && codeAttr >= 0
-	if useLib && decomp.NumFragments() > rope.MaxHandleRanges {
-		return nil, fmt.Errorf("parallel: %d fragments exceed the librarian's %d handle ranges",
-			decomp.NumFragments(), rope.MaxHandleRanges)
-	}
 
 	r := &rt{
 		job:       job,
@@ -184,7 +229,7 @@ func Run(job cluster.Job, opts Options) (*Result, error) {
 		useLib:    useLib,
 		uidBase:   make(map[cluster.AttrKey]bool),
 		uidCount:  make(map[cluster.AttrKey]bool),
-		runq:      make(chan int, decomp.NumFragments()),
+		sched:     newSched(opts.Workers),
 		rootAttrs: make([]ag.Value, len(job.G.Start.Attrs)),
 	}
 	for _, k := range job.UIDs {
@@ -199,23 +244,38 @@ func Run(job cluster.Job, opts Options) (*Result, error) {
 		}
 	}
 
-	// Seed every fragment, then let the pool run to quiescence.
+	// Seed every fragment round-robin across the worker deques, then
+	// let the pool run to quiescence.
 	r.pending.Store(int64(len(r.frags)))
 	for _, f := range r.frags {
 		f.queued = true
-		r.runq <- f.id
+		r.sched.push(f.id%opts.Workers, int32(f.id))
 	}
+	splitDone := time.Now()
+
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for id := range r.runq {
-				r.step(r.frags[id])
+			rng := uint64(w)*0x9E3779B97F4A7C15 + 0x1234567
+			for {
+				id, ok := r.sched.popLocal(w)
+				if !ok {
+					id, ok = r.sched.steal(w, &rng)
+				}
+				if !ok {
+					id = r.sched.park(w)
+					if id < 0 {
+						return
+					}
+				}
+				r.step(w, r.frags[id])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	evalDone := time.Now()
 
 	if int(r.doneCnt.Load()) != len(r.frags) {
 		var blocked []string
@@ -254,22 +314,62 @@ func Run(job cluster.Job, opts Options) (*Result, error) {
 		}
 	}
 	res.StoredStrings, res.StoredBytes = r.lib.Stored()
-	res.WallTime = time.Since(start)
+	now := time.Now()
+	res.SplitTime = splitDone.Sub(start)
+	res.EvalTime = evalDone.Sub(splitDone)
+	res.SpliceTime = now.Sub(evalDone)
+	res.WallTime = now.Sub(start)
 	return res, nil
 }
 
-// post delivers one attribute message to fragment target, scheduling it
-// if it is idle. Messages to completed fragments are dropped (the value
-// was provably not needed: a fragment only completes once every local
-// instance is evaluated).
-func (r *rt) post(target *frag, m message) {
-	r.messages.Add(1)
+// send routes one outbound attribute value from fragment f. Priority
+// attributes ship immediately (paper §4.3: the receiver should start
+// on the symbol table as early as possible); everything else is
+// buffered per destination and delivered in one batch when f's
+// evaluation pauses.
+func (r *rt) send(f *frag, target *frag, m message, priority bool) {
+	if priority {
+		// postBatch copies the batch into the inbox, so the scratch
+		// array is free again when it returns (f is single-threaded).
+		f.prio[0] = m
+		r.postBatch(f, target, f.prio[:])
+		return
+	}
+	for i := range f.out {
+		if f.out[i].target == target {
+			f.out[i].msgs = append(f.out[i].msgs, m)
+			return
+		}
+	}
+	f.out = append(f.out, outBatch{target: target, msgs: []message{m}})
+}
+
+// flush delivers every buffered batch, one mailbox lock per
+// destination. The batch buffers are retained for reuse.
+func (r *rt) flush(f *frag) {
+	for i := range f.out {
+		b := &f.out[i]
+		if len(b.msgs) == 0 {
+			continue
+		}
+		r.postBatch(f, b.target, b.msgs)
+		b.msgs = b.msgs[:0]
+	}
+}
+
+// postBatch appends a batch of messages to target's mailbox under a
+// single lock acquisition, scheduling the fragment (onto the posting
+// worker's own deque) if it is idle. Messages to completed fragments
+// are dropped (the value was provably not needed: a fragment only
+// completes once every local instance is evaluated).
+func (r *rt) postBatch(from *frag, target *frag, msgs []message) {
+	r.messages.Add(int64(len(msgs)))
 	target.mu.Lock()
 	if target.done {
 		target.mu.Unlock()
 		return
 	}
-	target.inbox = append(target.inbox, m)
+	target.inbox = append(target.inbox, msgs...)
 	enqueue := !target.queued
 	if enqueue {
 		target.queued = true
@@ -277,28 +377,32 @@ func (r *rt) post(target *frag, m message) {
 	target.mu.Unlock()
 	if enqueue {
 		// The poster's own step still holds a pending reference, so the
-		// pool cannot quiesce (and close runq) before this send lands.
+		// pool cannot quiesce before this push lands.
 		r.pending.Add(1)
-		r.runq <- target.id
+		r.sched.push(from.curWorker, int32(target.id))
 	}
 }
 
-// step drives one fragment on the current worker: build its evaluator
-// on first entry, drain the mailbox, evaluate until blocked, repeat
-// until the mailbox stays empty or the fragment completes.
-func (r *rt) step(f *frag) {
+// step drives one fragment on worker w: build its evaluator on first
+// entry, drain the mailbox (whole inbox under one lock), evaluate until
+// blocked, deliver the outbound batches, repeat until the mailbox stays
+// empty or the fragment completes.
+func (r *rt) step(w int, f *frag) {
+	f.curWorker = w
 	if f.ev == nil {
 		r.initFrag(f)
 	}
 	for {
 		f.mu.Lock()
 		msgs := f.inbox
-		f.inbox = nil
+		f.inbox = f.spare[:0]
 		f.mu.Unlock()
 		for _, m := range msgs {
 			f.ev.Supply(m.node, m.attr, m.val)
 		}
+		f.spare = msgs // recycle the drained buffer next round
 		f.ev.Run()
+		r.flush(f)
 		if f.ev.Done() {
 			f.stats = f.ev.Stats()
 			f.mu.Lock()
@@ -318,7 +422,7 @@ func (r *rt) step(f *frag) {
 	if r.pending.Add(-1) == 0 {
 		// Nothing queued, nothing running, no messages in flight: the
 		// pool is quiescent (all fragments done, or deadlock).
-		close(r.runq)
+		r.sched.shutdown()
 	}
 }
 
@@ -343,7 +447,9 @@ func (r *rt) initFrag(f *frag) {
 				return
 			}
 			child := r.frags[leaf.RemoteID]
-			r.post(child, message{node: child.root, attr: attr, val: r.outbound(f, leaf.Sym, attr, v)})
+			r.send(f, child,
+				message{node: child.root, attr: attr, val: r.outbound(f, leaf.Sym, attr, v)},
+				leaf.Sym.Attrs[attr].Priority && !r.opts.NoPriority)
 		},
 		OnRootSyn: func(attr int, v ag.Value) {
 			if f.id == 0 {
@@ -357,7 +463,9 @@ func (r *rt) initFrag(f *frag) {
 				return
 			}
 			parent := r.frags[f.parent]
-			r.post(parent, message{node: r.leafOf[f.id], attr: attr, val: r.outbound(f, f.root.Sym, attr, v)})
+			r.send(f, parent,
+				message{node: r.leafOf[f.id], attr: attr, val: r.outbound(f, f.root.Sym, attr, v)},
+				f.root.Sym.Attrs[attr].Priority && !r.opts.NoPriority)
 		},
 	}
 	switch r.opts.Mode {

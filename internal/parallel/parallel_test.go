@@ -183,24 +183,56 @@ func TestParallelCombinedNeedsAnalysis(t *testing.T) {
 }
 
 // TestParallelHugeFragmentRequest checks that asking for more
-// fragments than the librarian has handle ranges is fine as long as
-// the tree does not actually decompose that wide (the guard is on the
-// decomposition, not the request), with and without the librarian.
+// fragments than the librarian has handle ranges is rejected up front
+// when the librarian is in play (handle ranges would collide
+// silently), and still works without the librarian, where no handle
+// ranges exist and the decomposition is bounded by the tree itself.
 func TestParallelHugeFragmentRequest(t *testing.T) {
 	job := pascalJob(t, workload.Tiny())
-	for _, lib := range []bool{true, false} {
-		res, err := parallel.Run(job, parallel.Options{
-			Workers: 2, Fragments: rope.MaxHandleRanges + 1, Librarian: lib, UIDPreset: true,
-		})
-		if err != nil {
-			t.Fatalf("librarian=%v: %v", lib, err)
-		}
-		if res.Frags > rope.MaxHandleRanges {
-			t.Fatalf("librarian=%v: tiny tree decomposed into %d fragments", lib, res.Frags)
-		}
-		if res.Program == "" {
-			t.Fatalf("librarian=%v: empty program", lib)
-		}
+	if _, err := parallel.Run(job, parallel.Options{
+		Workers: 2, Fragments: rope.MaxHandleRanges + 1, Librarian: true, UIDPreset: true,
+	}); err == nil {
+		t.Fatal("librarian: expected an error for a fragment request wider than the handle ranges")
+	}
+	res, err := parallel.Run(job, parallel.Options{
+		Workers: 2, Fragments: rope.MaxHandleRanges + 1, Librarian: false, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatalf("no librarian: %v", err)
+	}
+	if res.Frags > rope.MaxHandleRanges {
+		t.Fatalf("no librarian: tiny tree decomposed into %d fragments", res.Frags)
+	}
+	if res.Program == "" {
+		t.Fatal("no librarian: empty program")
+	}
+}
+
+// TestParallelHugeWorkerRequest checks the same validation when the
+// width comes from the worker count (Fragments defaults to Workers).
+func TestParallelHugeWorkerRequest(t *testing.T) {
+	job := pascalJob(t, workload.Tiny())
+	if _, err := parallel.Run(job, parallel.Options{
+		Workers: rope.MaxHandleRanges + 1, Librarian: true, UIDPreset: true,
+	}); err == nil {
+		t.Fatal("expected an error for a worker count wider than the handle ranges")
+	}
+}
+
+// TestParallelTimingPhases checks that the split/eval/splice phase
+// timers are populated and sum to the wall time.
+func TestParallelTimingPhases(t *testing.T) {
+	job := pascalJob(t, workload.Tiny())
+	res, err := parallel.Run(job, parallel.Options{Workers: 2, Librarian: true, UIDPreset: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitTime <= 0 || res.EvalTime <= 0 {
+		t.Errorf("phase times not populated: split=%v eval=%v splice=%v",
+			res.SplitTime, res.EvalTime, res.SpliceTime)
+	}
+	if sum := res.SplitTime + res.EvalTime + res.SpliceTime; sum != res.WallTime {
+		t.Errorf("phases sum to %v, wall time is %v", sum, res.WallTime)
 	}
 }
 

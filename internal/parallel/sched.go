@@ -1,0 +1,161 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sched is the pool's work-stealing fragment scheduler. Every worker
+// owns a deque of runnable fragment ids: it pushes and pops at the tail
+// (LIFO, so a fragment woken by a message it just posted is picked up
+// hot), and steals from the head of a random victim (FIFO, so thieves
+// take the oldest — likely largest — pending work). This replaces the
+// single shared run-queue channel of the first runtime, whose one lock
+// every post and every dispatch contended on.
+//
+// Each deque has its own mutex: owner pushes and steals only ever
+// contend pairwise, never globally. Idle workers park on a condition
+// variable; the parking protocol advertises idleness with a seq-cst
+// counter *before* re-scanning the deques, while pushers make work
+// visible *before* reading the counter, so a pusher that reads "no one
+// idle" is guaranteed the parker's subsequent scan observes its push.
+type sched struct {
+	deques []deque
+
+	idle atomic.Int32 // workers inside park()
+	mu   sync.Mutex   // guards cond and done
+	cond *sync.Cond
+	done bool
+}
+
+type deque struct {
+	mu    sync.Mutex
+	items []int32
+	// Pad to exactly 64 bytes (8 mutex + 24 slice header + 32) so
+	// neighbouring deques in the scheduler's slice never share a cache
+	// line between an owner pushing and a thief stealing.
+	_ [32]byte
+}
+
+func newSched(workers int) *sched {
+	s := &sched{deques: make([]deque, workers)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push makes fragment id runnable on worker w's deque and wakes a
+// parked worker if there is one.
+func (s *sched) push(w int, id int32) {
+	d := &s.deques[w]
+	d.mu.Lock()
+	d.items = append(d.items, id)
+	d.mu.Unlock()
+	if s.idle.Load() > 0 {
+		// One new item needs at most one worker; all parked workers are
+		// interchangeable (park re-scans every deque), so Signal
+		// suffices and avoids a thundering herd.
+		s.mu.Lock()
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
+}
+
+// popLocal takes the most recently pushed fragment of worker w.
+func (s *sched) popLocal(w int) (int32, bool) {
+	d := &s.deques[w]
+	d.mu.Lock()
+	if n := len(d.items); n > 0 {
+		id := d.items[n-1]
+		d.items = d.items[:n-1]
+		d.mu.Unlock()
+		return id, true
+	}
+	d.mu.Unlock()
+	return 0, false
+}
+
+// steal scans the other deques starting from a random victim and takes
+// the oldest item of the first non-empty one.
+func (s *sched) steal(w int, rng *uint64) (int32, bool) {
+	if len(s.deques) <= 1 {
+		return 0, false
+	}
+	return s.stealFrom(w, int(xorshift(rng)%uint64(len(s.deques))))
+}
+
+// stealFrom scans every deque but w's, beginning at start, taking the
+// head (oldest item) of the first non-empty one.
+func (s *sched) stealFrom(w, start int) (int32, bool) {
+	n := len(s.deques)
+	for k := 0; k < n; k++ {
+		v := start + k
+		if v >= n {
+			v -= n
+		}
+		if v == w {
+			continue
+		}
+		d := &s.deques[v]
+		d.mu.Lock()
+		if n := len(d.items); n > 0 {
+			id := d.items[0]
+			// Shift down instead of advancing the slice header, so the
+			// victim's backing array keeps its full capacity (deques
+			// are a handful of ids, so the copy is trivial).
+			copy(d.items, d.items[1:])
+			d.items = d.items[:n-1]
+			d.mu.Unlock()
+			return id, true
+		}
+		d.mu.Unlock()
+	}
+	return 0, false
+}
+
+// park blocks worker w until work appears anywhere or the pool shuts
+// down; it returns the claimed fragment id, or -1 on shutdown.
+func (s *sched) park(w int) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idle.Add(1)
+	defer s.idle.Add(-1)
+	for {
+		if s.done {
+			return -1
+		}
+		// Re-scan after advertising idleness: any push that missed our
+		// idle count is ordered before this scan (see type comment).
+		if id, ok := s.grabAny(w); ok {
+			return id
+		}
+		s.cond.Wait()
+	}
+}
+
+// grabAny takes any runnable fragment, preferring w's own deque.
+func (s *sched) grabAny(w int) (int32, bool) {
+	if id, ok := s.popLocal(w); ok {
+		return id, true
+	}
+	return s.stealFrom(w, 0)
+}
+
+// shutdown releases every parked worker; pushes after shutdown are
+// lost, which is fine because shutdown only happens at quiescence.
+func (s *sched) shutdown() {
+	s.mu.Lock()
+	s.done = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// xorshift is a tiny per-worker PRNG for steal-victim selection; no
+// shared state, no locks.
+func xorshift(state *uint64) uint64 {
+	x := *state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*state = x
+	return x
+}

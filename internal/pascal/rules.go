@@ -55,9 +55,9 @@ func (l *Lang) buildRules(b *ag.Builder) {
 		ag.Def("4.env", func(a []ag.Value) ag.Value { return a[0].(ScopeVal).Env }, "scope").WithCost(costCopy),
 		ag.Copy("3.label", "label"),
 		ag.Copy("3.lbase", "lbase"),
-		ag.Def("4.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + asInt(a[1]) },
+		ag.Def("4.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + asInt(a[1])) },
 			"lbase", "3.lused").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return asInt(a[0]) + asInt(a[1]) },
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + asInt(a[1])) },
 			"3.lused", "4.lused").WithCost(costCopy),
 		ag.Copy("code", "4.code"),
 		ag.Copy("procs", "3.code"),
@@ -260,9 +260,9 @@ func (l *Lang) declRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 		ag.Copy("1.label", "label"),
 		ag.Copy("2.label", "label"),
 		ag.Copy("1.lbase", "lbase"),
-		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + asInt(a[1]) },
+		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + asInt(a[1])) },
 			"lbase", "1.lused").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return asInt(a[0]) + asInt(a[1]) },
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + asInt(a[1])) },
 			"1.lused", "2.lused").WithCost(costCopy),
 		ag.Def("code", func(a []ag.Value) ag.Value { return rope.CatCode(asCode(a[0]), asCode(a[1])) },
 			"1.code", "2.code").WithCost(costTiny),

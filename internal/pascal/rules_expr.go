@@ -11,7 +11,7 @@ import (
 // exprRules covers expressions, variables (lvalues) and argument lists.
 func (l *Lang) exprRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol, ...ag.RuleSpec), S func(...*ag.Symbol) []*ag.Symbol) {
 	_ = b
-	sum := func(a []ag.Value) ag.Value { return asInt(a[0]) + asInt(a[1]) }
+	sum := func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + asInt(a[1])) }
 	merge2 := func(a []ag.Value) ag.Value { return catErrs(asErrs(a[0]), asErrs(a[1])) }
 
 	// binOp declares expr -> expr expr with the given instruction tail
@@ -51,10 +51,10 @@ func (l *Lang) exprRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 		P(name, l.Expr, S(l.Expr, l.Expr),
 			ag.Copy("1.env", "env"),
 			ag.Copy("2.env", "env"),
-			ag.Def("1.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 }, "lbase").WithCost(costCopy),
-			ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 + asInt(a[1]) },
+			ag.Def("1.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2) }, "lbase").WithCost(costCopy),
+			ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2 + asInt(a[1])) },
 				"lbase", "1.lused").WithCost(costCopy),
-			ag.Def("lused", func(a []ag.Value) ag.Value { return 2 + asInt(a[0]) + asInt(a[1]) },
+			ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(2 + asInt(a[0]) + asInt(a[1])) },
 				"1.lused", "2.lused").WithCost(costCopy),
 			ag.Def("code", func(a []ag.Value) ag.Value {
 				yes, end := lbl(asInt(a[2])), lbl(asInt(a[2])+1)

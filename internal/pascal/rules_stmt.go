@@ -11,7 +11,7 @@ import (
 // write/read argument lists.
 func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol, ...ag.RuleSpec), S func(...*ag.Symbol) []*ag.Symbol) {
 	_ = b
-	sum := func(a []ag.Value) ag.Value { return asInt(a[0]) + asInt(a[1]) }
+	sum := func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + asInt(a[1])) }
 	merge2 := func(a []ag.Value) ag.Value { return catErrs(asErrs(a[0]), asErrs(a[1])) }
 	cat2 := func(a []ag.Value) ag.Value { return rope.CatCode(asCode(a[0]), asCode(a[1])) }
 
@@ -129,10 +129,10 @@ func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 	P("stmt_if", l.Stmt, S(l.Expr, l.Stmt),
 		ag.Copy("1.env", "env"),
 		ag.Copy("2.env", "env"),
-		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 }, "lbase").WithCost(costCopy),
-		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 + asInt(a[1]) },
+		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1) }, "lbase").WithCost(costCopy),
+		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1 + asInt(a[1])) },
 			"lbase", "1.lused").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return 1 + asInt(a[0]) + asInt(a[1]) },
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(1 + asInt(a[0]) + asInt(a[1])) },
 			"1.lused", "2.lused").WithCost(costCopy),
 		ag.Def("code", func(a []ag.Value) ag.Value {
 			end := lbl(asInt(a[2]))
@@ -156,12 +156,12 @@ func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 		ag.Copy("1.env", "env"),
 		ag.Copy("2.env", "env"),
 		ag.Copy("3.env", "env"),
-		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 }, "lbase").WithCost(costCopy),
-		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 + asInt(a[1]) },
+		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2) }, "lbase").WithCost(costCopy),
+		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2 + asInt(a[1])) },
 			"lbase", "1.lused").WithCost(costCopy),
-		ag.Def("3.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 + asInt(a[1]) + asInt(a[2]) },
+		ag.Def("3.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2 + asInt(a[1]) + asInt(a[2])) },
 			"lbase", "1.lused", "2.lused").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return 2 + asInt(a[0]) + asInt(a[1]) + asInt(a[2]) },
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(2 + asInt(a[0]) + asInt(a[1]) + asInt(a[2])) },
 			"1.lused", "2.lused", "3.lused").WithCost(costCopy),
 		ag.Def("code", func(a []ag.Value) ag.Value {
 			els, end := lbl(asInt(a[3])), lbl(asInt(a[3])+1)
@@ -188,10 +188,10 @@ func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 	P("stmt_while", l.Stmt, S(l.Expr, l.Stmt),
 		ag.Copy("1.env", "env"),
 		ag.Copy("2.env", "env"),
-		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 }, "lbase").WithCost(costCopy),
-		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 + asInt(a[1]) },
+		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2) }, "lbase").WithCost(costCopy),
+		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2 + asInt(a[1])) },
 			"lbase", "1.lused").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return 2 + asInt(a[0]) + asInt(a[1]) },
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(2 + asInt(a[0]) + asInt(a[1])) },
 			"1.lused", "2.lused").WithCost(costCopy),
 		ag.Def("code", func(a []ag.Value) ag.Value {
 			top, end := lbl(asInt(a[2])), lbl(asInt(a[2])+1)
@@ -217,10 +217,10 @@ func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 	P("stmt_repeat", l.Stmt, S(l.StmtList, l.Expr),
 		ag.Copy("1.env", "env"),
 		ag.Copy("2.env", "env"),
-		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 }, "lbase").WithCost(costCopy),
-		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 + asInt(a[1]) },
+		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1) }, "lbase").WithCost(costCopy),
+		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1 + asInt(a[1])) },
 			"lbase", "1.lused").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return 1 + asInt(a[0]) + asInt(a[1]) },
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(1 + asInt(a[0]) + asInt(a[1])) },
 			"1.lused", "2.lused").WithCost(costCopy),
 		ag.Def("code", func(a []ag.Value) ag.Value {
 			top := lbl(asInt(a[2]))
@@ -248,16 +248,16 @@ func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 			ag.Copy("2.env", "env"),
 			ag.Copy("3.env", "env"),
 			ag.Copy("4.env", "env"),
-			ag.Def("1.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 }, "lbase").WithCost(costCopy),
-			ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 + asInt(a[1]) },
+			ag.Def("1.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2) }, "lbase").WithCost(costCopy),
+			ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2 + asInt(a[1])) },
 				"lbase", "1.lused").WithCost(costCopy),
-			ag.Def("3.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 + asInt(a[1]) + asInt(a[2]) },
+			ag.Def("3.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2 + asInt(a[1]) + asInt(a[2])) },
 				"lbase", "1.lused", "2.lused").WithCost(costCopy),
 			ag.Def("4.lbase", func(a []ag.Value) ag.Value {
-				return asInt(a[0]) + 2 + asInt(a[1]) + asInt(a[2]) + asInt(a[3])
+				return ag.IntValue(asInt(a[0]) + 2 + asInt(a[1]) + asInt(a[2]) + asInt(a[3]))
 			}, "lbase", "1.lused", "2.lused", "3.lused").WithCost(costCopy),
 			ag.Def("lused", func(a []ag.Value) ag.Value {
-				return 2 + asInt(a[0]) + asInt(a[1]) + asInt(a[2]) + asInt(a[3])
+				return ag.IntValue(2 + asInt(a[0]) + asInt(a[1]) + asInt(a[2]) + asInt(a[3]))
 			}, "1.lused", "2.lused", "3.lused", "4.lused").WithCost(costCopy),
 			ag.Def("code", func(a []ag.Value) ag.Value {
 				top, end := lbl(asInt(a[4])), lbl(asInt(a[4])+1)
@@ -320,11 +320,11 @@ func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 	P("stmt_case", l.Stmt, S(l.Expr, l.CaseArms),
 		ag.Copy("1.env", "env"),
 		ag.Copy("2.env", "env"),
-		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 }, "lbase").WithCost(costCopy),
-		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 + asInt(a[1]) },
+		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1) }, "lbase").WithCost(costCopy),
+		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1 + asInt(a[1])) },
 			"lbase", "1.lused").WithCost(costCopy),
 		ag.Def("2.endlab", func(a []ag.Value) ag.Value { return lbl(asInt(a[0])) }, "lbase").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return 1 + asInt(a[0]) + asInt(a[1]) },
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(1 + asInt(a[0]) + asInt(a[1])) },
 			"1.lused", "2.lused").WithCost(costCopy),
 		ag.Def("code", func(a []ag.Value) ag.Value {
 			end := lbl(asInt(a[2]))
@@ -351,13 +351,13 @@ func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 		ag.Copy("1.env", "env"),
 		ag.Copy("2.env", "env"),
 		ag.Copy("3.env", "env"),
-		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 }, "lbase").WithCost(costCopy),
-		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 + asInt(a[1]) },
+		ag.Def("1.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1) }, "lbase").WithCost(costCopy),
+		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1 + asInt(a[1])) },
 			"lbase", "1.lused").WithCost(costCopy),
 		ag.Def("2.endlab", func(a []ag.Value) ag.Value { return lbl(asInt(a[0])) }, "lbase").WithCost(costCopy),
-		ag.Def("3.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 1 + asInt(a[1]) + asInt(a[2]) },
+		ag.Def("3.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 1 + asInt(a[1]) + asInt(a[2])) },
 			"lbase", "1.lused", "2.lused").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return 1 + asInt(a[0]) + asInt(a[1]) + asInt(a[2]) },
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(1 + asInt(a[0]) + asInt(a[1]) + asInt(a[2])) },
 			"1.lused", "2.lused", "3.lused").WithCost(costCopy),
 		ag.Def("code", func(a []ag.Value) ag.Value {
 			end := lbl(asInt(a[3]))
@@ -406,8 +406,8 @@ func (l *Lang) stmtRules(b *ag.Builder, P func(string, *ag.Symbol, []*ag.Symbol,
 	// case_arm -> num_list stmt
 	P("case_arm", l.CaseArm, S(l.NumList, l.Stmt),
 		ag.Copy("2.env", "env"),
-		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return asInt(a[0]) + 2 }, "lbase").WithCost(costCopy),
-		ag.Def("lused", func(a []ag.Value) ag.Value { return 2 + asInt(a[0]) }, "2.lused").WithCost(costCopy),
+		ag.Def("2.lbase", func(a []ag.Value) ag.Value { return ag.IntValue(asInt(a[0]) + 2) }, "lbase").WithCost(costCopy),
+		ag.Def("lused", func(a []ag.Value) ag.Value { return ag.IntValue(2 + asInt(a[0])) }, "2.lused").WithCost(costCopy),
 		ag.Def("code", func(a []ag.Value) ag.Value {
 			body, next := lbl(asInt(a[2])), lbl(asInt(a[2])+1)
 			var tests rope.Code

@@ -11,10 +11,30 @@ import "fmt"
 
 type node struct {
 	hash  uint32
+	h     int32 // height of the subtree rooted here (leaves are 1)
 	name  string
 	val   any
 	left  *node
 	right *node
+}
+
+func height(n *node) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.h
+}
+
+// reheight recomputes n's cached height from its children. Only nodes
+// copied along an insertion path ever need it; shared subtrees keep
+// their heights.
+func (n *node) reheight() {
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		n.h = l + 1
+	} else {
+		n.h = r + 1
+	}
 }
 
 // Table is an immutable symbol table. The zero value (and nil pointer)
@@ -68,7 +88,7 @@ func (t *Table) Add(name string, v any) *Table {
 
 func insert(n *node, h uint32, name string, v any) (*node, bool) {
 	if n == nil {
-		return &node{hash: h, name: name, val: v}, true
+		return &node{hash: h, h: 1, name: name, val: v}, true
 	}
 	cp := *n
 	switch {
@@ -78,10 +98,12 @@ func insert(n *node, h uint32, name string, v any) (*node, bool) {
 	case keyLess(h, name, n.hash, n.name):
 		l, added := insert(n.left, h, name, v)
 		cp.left = l
+		cp.reheight()
 		return &cp, added
 	default:
 		r, added := insert(n.right, h, name, v)
 		cp.right = r
+		cp.reheight()
 		return &cp, added
 	}
 }
@@ -115,23 +137,16 @@ func (t *Table) Len() int {
 }
 
 // Depth returns the height of the tree (0 for the empty table). With
-// hash-distributed keys it stays O(log n) in expectation.
+// hash-distributed keys it stays O(log n) in expectation. The height is
+// cached per node (maintained by Add and FromEntries along copied
+// paths), so Depth is O(1) — it is called by simulated rule-cost
+// functions on every symbol-table operation, squarely on the
+// evaluation hot path.
 func (t *Table) Depth() int {
 	if t == nil {
 		return 0
 	}
-	var d func(*node) int
-	d = func(n *node) int {
-		if n == nil {
-			return 0
-		}
-		l, r := d(n.left), d(n.right)
-		if l > r {
-			return l + 1
-		}
-		return r + 1
-	}
-	return d(t.root)
+	return int(height(t.root))
 }
 
 // Entry is one binding.
@@ -154,13 +169,15 @@ func FromEntries(entries []Entry) *Table {
 		}
 		mid := (lo + hi) / 2
 		e := entries[mid]
-		return &node{
+		n := &node{
 			hash:  fnv1a(e.Name),
 			name:  e.Name,
 			val:   e.Val,
 			left:  build(lo, mid),
 			right: build(mid+1, hi),
 		}
+		n.reheight()
+		return n
 	}
 	return &Table{root: build(0, len(entries)), size: len(entries)}
 }

@@ -30,6 +30,14 @@ type Node struct {
 	Remote   bool
 	RemoteID int
 
+	// Seq is evaluator workspace: the 1-based registration number of
+	// the node within the evaluator that owns its fragment (0 =
+	// unregistered). Evaluators use it to index flat, arena-backed
+	// instance tables instead of per-node maps; fragments are disjoint
+	// and an evaluator validates the number before trusting it, so no
+	// coordination is needed.
+	Seq int32
+
 	size int // cached linearized size, bytes
 }
 
@@ -125,24 +133,56 @@ func (n *Node) Walk(f func(*Node)) {
 }
 
 // Clone deep-copies the subtree (attribute values are shared; they are
-// immutable by the purity requirement on semantic rules).
+// immutable by the purity requirement on semantic rules). The copy is
+// slab-allocated: one node slab, one attribute-value slab and one
+// child-pointer slab for the whole subtree — three allocations instead
+// of two per node — with every node's Attrs slice carved (full-cap) out
+// of the flat value slab. This is the arena-backed attribute table of
+// the parallel runtime: parallel.Run clones the job tree on every
+// compilation, so clone cost is evaluation hot-path cost.
 func (n *Node) Clone() *Node {
-	nn := &Node{
-		Sym:      n.Sym,
-		Prod:     n.Prod,
-		Token:    n.Token,
-		Remote:   n.Remote,
-		RemoteID: n.RemoteID,
-		Attrs:    make([]ag.Value, len(n.Attrs)),
-	}
-	copy(nn.Attrs, n.Attrs)
-	if len(n.Children) > 0 {
-		nn.Children = make([]*Node, len(n.Children))
-		for i, c := range n.Children {
-			nn.Children[i] = c.Clone()
+	var nodes, attrs int
+	var count func(*Node)
+	count = func(m *Node) {
+		nodes++
+		attrs += len(m.Attrs)
+		for _, c := range m.Children {
+			count(c)
 		}
 	}
-	return nn
+	count(n)
+
+	slab := make([]Node, nodes)
+	vals := make([]ag.Value, attrs)
+	var kids []*Node
+	if nodes > 1 {
+		kids = make([]*Node, nodes-1)
+	}
+	var ni, vi, ki int
+	var rec func(src *Node) *Node
+	rec = func(src *Node) *Node {
+		dst := &slab[ni]
+		ni++
+		dst.Sym = src.Sym
+		dst.Prod = src.Prod
+		dst.Token = src.Token
+		dst.Remote = src.Remote
+		dst.RemoteID = src.RemoteID
+		if na := len(src.Attrs); na > 0 {
+			dst.Attrs = vals[vi : vi+na : vi+na]
+			vi += na
+			copy(dst.Attrs, src.Attrs)
+		}
+		if nc := len(src.Children); nc > 0 {
+			dst.Children = kids[ki : ki+nc : ki+nc]
+			ki += nc
+			for i, c := range src.Children {
+				dst.Children[i] = rec(c)
+			}
+		}
+		return dst
+	}
+	return rec(n)
 }
 
 // RemoteLeaves returns the remote leaves of the subtree in tree

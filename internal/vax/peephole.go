@@ -21,7 +21,7 @@ func Peephole(text string) (string, int) {
 	rewrites := 0
 	for {
 		changed := false
-		var out []string
+		out := make([]string, 0, len(lines))
 		i := 0
 		for i < len(lines) {
 			cur := strings.TrimSpace(lines[i])
@@ -43,8 +43,7 @@ func Peephole(text string) (string, int) {
 
 			// movl X, X → removed
 			if rest, ok := strings.CutPrefix(cur, "movl "); ok {
-				parts := splitOperands(rest)
-				if len(parts) == 2 && strings.TrimSpace(parts[0]) == strings.TrimSpace(parts[1]) {
+				if x, y, ok2 := splitTwo(rest); ok2 && strings.TrimSpace(x) == strings.TrimSpace(y) {
 					i++
 					rewrites++
 					changed = true
@@ -98,11 +97,11 @@ func cutMoveTo(line, dst string) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	parts := splitOperands(rest)
-	if len(parts) != 2 || strings.TrimSpace(parts[1]) != dst {
+	x, y, ok := splitTwo(rest)
+	if !ok || strings.TrimSpace(y) != dst {
 		return "", false
 	}
-	return strings.TrimSpace(parts[0]), true
+	return strings.TrimSpace(x), true
 }
 
 func isIdentity(line string) bool {

@@ -112,6 +112,37 @@ func parseLine(raw string) (label, mnemonic string, operands []string) {
 	return label, mnemonic, operands
 }
 
+// splitTwo splits s into exactly two top-level operands without
+// allocating. ok is false when s does not have exactly two operands.
+// The peephole pass calls this once per instruction per fixpoint
+// iteration, so it must not produce garbage like splitOperands does.
+func splitTwo(s string) (first, second string, ok bool) {
+	depth := 0
+	inStr := false
+	cut := -1
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				if cut >= 0 {
+					return "", "", false // three or more operands
+				}
+				cut = i
+			}
+		}
+	}
+	if cut < 0 {
+		return "", "", false
+	}
+	return s[:cut], s[cut+1:], true
+}
+
 // splitOperands splits on commas that are not inside quotes.
 func splitOperands(s string) []string {
 	var out []string
