@@ -7,6 +7,7 @@ package pag_test
 // paper actually plots.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"pag/internal/experiments"
 	"pag/internal/exprlang"
 	"pag/internal/parallel"
+	"pag/internal/pascal"
 	"pag/internal/rope"
 	"pag/internal/symtab"
 	"pag/internal/vax"
@@ -75,6 +77,70 @@ func BenchmarkParallelPascal(b *testing.B) {
 			}
 			b.ReportMetric(float64(last.Frags), "frags")
 			b.SetBytes(int64(len(last.Program)))
+		})
+	}
+}
+
+// BenchmarkPoolReuse measures what the persistent compile service
+// buys: the same job compiled through one long-lived Pool (workers,
+// deques and librarians reused across jobs, analysis shared) versus a
+// fresh one-shot runtime per compilation (parallel.Run), which is what
+// a naive service would do. The pool case is the steady state of
+// cmd/pagd; the gap between the two is the per-job setup/teardown
+// overhead the Pool amortizes.
+func BenchmarkPoolReuse(b *testing.B) {
+	pascalJob, err := pascal.MustNew().ClusterJob(workload.Generate(workload.Tiny()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	el := exprlang.MustNew()
+	ea, err := ag.Analyze(el.G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eroot, err := el.Parse("1+2*(3+4)+5*6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	microJob := cluster.Job{G: el.G, A: ea, Root: eroot, Lex: el.TerminalAttrs}
+
+	cases := []struct {
+		name string
+		job  cluster.Job
+		opts parallel.Options
+	}{
+		// micro: a near-empty job, so ns/op is almost purely the
+		// per-job runtime setup/teardown the pool amortizes.
+		{"micro", microJob, parallel.Options{Workers: 4}},
+		// tiny-pascal: a small but real compilation (librarian, UID
+		// presets), the shape a compile service actually serves.
+		{"tiny-pascal", pascalJob, func() parallel.Options {
+			o := experiments.DefaultParallelOptions()
+			o.Workers = 4
+			return o
+		}()},
+	}
+	for _, c := range cases {
+		b.Run(c.name+"/pool", func(b *testing.B) {
+			pool := parallel.NewPool(parallel.PoolOptions{Workers: 4})
+			defer pool.Close()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.Compile(ctx, c.job, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/oneshot", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := parallel.Run(c.job, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

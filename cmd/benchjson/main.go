@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
@@ -47,10 +48,10 @@ type File struct {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkParallelPascal|BenchmarkHotPath", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1s", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package to benchmark")
-	out := flag.String("o", "BENCH_PR2.json", "output file")
+	out := flag.String("o", "BENCH_PR3.json", "output file")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json files: benchjson -compare old.json new.json")
 	flag.Parse()
 
@@ -196,6 +197,15 @@ func compareFiles(oldPath, newPath string) error {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
 			fmt.Printf("%-44s %14s %14.0f %9s %18s\n", nb.Name, "-", nb.NsPerOp, "new", allocCell(nil, &nb))
+			continue
+		}
+		// A baseline of zero (hand-edited file, or a metric the old
+		// toolchain didn't record) has no meaningful percentage: say
+		// "n/a" rather than printing the +Inf%/NaN% this used to
+		// produce — and never treat it as a regression.
+		if !(ob.NsPerOp > 0) || math.IsInf(ob.NsPerOp, 0) {
+			fmt.Printf("%-44s %14.0f %14.0f %9s %18s\n",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, "n/a", allocCell(&ob, &nb))
 			continue
 		}
 		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(File{Bench: "x", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareZeroBaseline is the regression test for the NaN/Inf
+// percentage deltas: a zero-valued baseline metric must compare as
+// "n/a", not fail, and only genuinely missing baselines exit nonzero.
+func TestCompareZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 0}, // hand-edited / broken baseline
+		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 100},
+	})
+	new1 := writeBench(t, dir, "new.json", []Benchmark{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 50},
+		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 120},
+		{Name: "BenchmarkC", Iterations: 1, NsPerOp: 10}, // new benchmark: fine
+	})
+	if err := compareFiles(old, new1); err != nil {
+		t.Errorf("zero baseline made compare fail: %v", err)
+	}
+
+	missing := writeBench(t, dir, "missing.json", []Benchmark{
+		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 90},
+	})
+	if err := compareFiles(old, missing); err == nil {
+		t.Error("a vanished baseline benchmark compared clean")
+	}
+}
+
+// TestParseLine covers the result-line parser, including the metric
+// column and the GOMAXPROCS suffix trimming.
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkParallelPascal/workers=4-8   \t  44\t 26272510 ns/op\t 7.69 MB/s\t 8.000 frags\t 96 B/op\t 2 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkParallelPascal/workers=4" || b.NsPerOp != 26272510 ||
+		b.AllocsPerOp != 2 || b.Metrics["frags"] != 8 {
+		t.Errorf("parsed %+v", b)
+	}
+	if _, ok := parseLine("ok  \tpag\t10.6s"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+}

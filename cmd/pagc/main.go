@@ -2,20 +2,31 @@
 // attribute grammar, running on the simulated network multiprocessor:
 //
 //	pagc [flags] file.pas       # compile a file
-//	pagc -workload course ...   # compile a generated workload instead
+//	pagc -workload course       # compile a generated workload instead
 //
 // Flags select the machine count, the evaluator (combined or dynamic),
 // the decomposition granularity and the §4.3 optimizations; -gantt
-// prints the machine activity chart and -S the produced VAX assembly.
+// prints the machine activity chart and -S the produced VAX assembly
+// (-q suppresses everything but the assembly).
+//
+// Batch mode drives many files through one persistent compile pool on
+// the real shared-memory runtime instead of the simulator:
+//
+//	pagc -batch [-workers 8] a.pas b.pas c.pas
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sync"
+	"time"
 
 	"pag/internal/cluster"
 	"pag/internal/experiments"
+	"pag/internal/parallel"
 	"pag/internal/pascal"
 	"pag/internal/workload"
 )
@@ -28,49 +39,77 @@ func main() {
 	chain := flag.Bool("uidchain", false, "propagate unique-id counters instead of per-evaluator bases")
 	gantt := flag.Bool("gantt", false, "print the machine activity chart")
 	asm := flag.Bool("S", false, "print the produced VAX assembly")
+	quiet := flag.Bool("q", false, "suppress the compilation summary (with -S: print assembly only)")
 	wl := flag.String("workload", "", "compile a generated workload (tiny, small, course) instead of a file")
+	batch := flag.Bool("batch", false, "compile every file through one persistent pool on the real multicore runtime")
+	workers := flag.Int("workers", 0, "batch mode: pool worker goroutines (0 = all CPUs)")
 	flag.Parse()
 
-	if err := run(*machines, *mode, *gran, *noLib, *chain, *gantt, *asm, *wl, flag.Args()); err != nil {
+	cfg := config{
+		machines: *machines, modeName: *mode, gran: *gran,
+		noLib: *noLib, chain: *chain, gantt: *gantt, asm: *asm, quiet: *quiet,
+		wl: *wl, batch: *batch, workers: *workers,
+	}
+	if err := run(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pagc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(machines int, modeName string, gran int, noLib, chain, gantt, asm bool, wl string, args []string) error {
+type config struct {
+	machines int
+	modeName string
+	gran     int
+	noLib    bool
+	chain    bool
+	gantt    bool
+	asm      bool
+	quiet    bool
+	wl       string
+	batch    bool
+	workers  int
+}
+
+func run(out io.Writer, cfg config, args []string) error {
+	if cfg.batch {
+		return runBatch(out, cfg, args)
+	}
+	// -n documents 1..6 (the paper's machine-count range); enforce it
+	// instead of silently simulating impossible hardware.
+	if cfg.machines < 1 || cfg.machines > experiments.MaxMachines {
+		return fmt.Errorf("-n %d out of range: the testbed has 1..%d evaluator machines", cfg.machines, experiments.MaxMachines)
+	}
+	if cfg.workers != 0 {
+		return fmt.Errorf("-workers configures the -batch pool; single-job simulator runs size with -n")
+	}
+
 	var src string
 	switch {
-	case wl != "":
-		var cfg workload.Config
-		switch wl {
-		case "tiny":
-			cfg = workload.Tiny()
-		case "small":
-			cfg = workload.Small()
-		case "course":
-			cfg = workload.CourseCompiler()
-		default:
-			return fmt.Errorf("unknown workload %q (tiny, small, course)", wl)
+	case cfg.wl != "":
+		// Extra file operands alongside -workload used to be silently
+		// ignored; make the conflict explicit.
+		if len(args) > 0 {
+			return fmt.Errorf("-workload %s conflicts with file operand(s) %v: pass one or the other", cfg.wl, args)
 		}
-		src = workload.Generate(cfg)
+		var err error
+		if src, err = workloadSource(cfg.wl); err != nil {
+			return err
+		}
 	case len(args) == 1:
 		data, err := os.ReadFile(args[0])
 		if err != nil {
 			return err
 		}
 		src = string(data)
+	case len(args) > 1:
+		return fmt.Errorf("got %d file operands %v, want exactly one (use -batch to compile many files)", len(args), args)
 	default:
 		return fmt.Errorf("usage: pagc [flags] file.pas  (or -workload course)")
 	}
 
-	var mode cluster.Mode
-	switch modeName {
-	case "combined":
-		mode = cluster.Combined
-	case "dynamic":
-		mode = cluster.Dynamic
-	default:
-		return fmt.Errorf("unknown mode %q (combined, dynamic)", modeName)
+	mode, err := cluster.ModeByName(cfg.modeName)
+	if err != nil {
+		return err
 	}
 
 	l := pascal.MustNew()
@@ -79,36 +118,148 @@ func run(machines int, modeName string, gran int, noLib, chain, gantt, asm bool,
 		return err
 	}
 	opts := experiments.DefaultOptions()
-	opts.Machines = machines
+	opts.Machines = cfg.machines
 	opts.Mode = mode
-	opts.Granularity = gran
-	opts.Librarian = !noLib
-	opts.UIDPreset = !chain
+	opts.Granularity = cfg.gran
+	opts.Librarian = !cfg.noLib
+	opts.UIDPreset = !cfg.chain
 
 	res, err := cluster.Run(job, opts)
 	if err != nil {
 		return err
 	}
 
-	if errs, ok := res.RootAttrs[pascal.ProgAttrErrs].([]string); ok && len(errs) > 0 {
+	if errs := pascal.SemanticErrors(res.RootAttrs); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "error:", e)
 		}
 		return fmt.Errorf("%d semantic error(s)", len(errs))
 	}
 
-	fmt.Printf("compiled on %d machine(s), %s evaluator: parse %v + evaluate %v\n",
-		machines, mode, res.ParseTime, res.EvalTime)
-	fmt.Printf("fragments: %d %v, %d messages, %d payload bytes, %.1f%% attributes dynamic\n",
-		res.Frags, res.Decomp.Sizes(), res.Messages, res.Bytes,
-		res.Stats.DynamicFraction()*100)
-	if gantt {
-		fmt.Print(res.Trace.Gantt(100))
+	if !cfg.quiet {
+		fmt.Fprintf(out, "compiled on %d machine(s), %s evaluator: parse %v + evaluate %v\n",
+			cfg.machines, mode, res.ParseTime, res.EvalTime)
+		fmt.Fprintf(out, "fragments: %d %v, %d messages, %d payload bytes, %.1f%% attributes dynamic\n",
+			res.Frags, res.Decomp.Sizes(), res.Messages, res.Bytes,
+			res.Stats.DynamicFraction()*100)
 	}
-	if asm {
-		fmt.Println(res.Program)
-	} else {
-		fmt.Printf("generated %d bytes of VAX assembly (use -S to print)\n", len(res.Program))
+	if cfg.gantt {
+		fmt.Fprint(out, res.Trace.Gantt(100))
+	}
+	if cfg.asm {
+		fmt.Fprintln(out, res.Program)
+	} else if !cfg.quiet {
+		fmt.Fprintf(out, "generated %d bytes of VAX assembly (use -S to print)\n", len(res.Program))
+	}
+	return nil
+}
+
+func workloadSource(name string) (string, error) {
+	cfg, err := workload.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return workload.Generate(cfg), nil
+}
+
+// batchResult is one file's outcome in a batch run.
+type batchResult struct {
+	file string
+	res  *parallel.Result
+	err  error
+}
+
+// runBatch compiles every operand through one persistent pool on the
+// real shared-memory runtime, all files in flight concurrently.
+func runBatch(out io.Writer, cfg config, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pagc -batch [flags] file.pas...")
+	}
+	if cfg.wl != "" {
+		return fmt.Errorf("-batch compiles file operands; -workload is the single-job mode")
+	}
+	// Simulator-only flags must not be silently ignored: batch mode
+	// runs on the real multicore runtime, where -workers sets the
+	// width and there is no machine activity chart.
+	if cfg.machines != 1 {
+		return fmt.Errorf("-n selects simulated machines; batch mode runs on the real runtime (use -workers)")
+	}
+	if cfg.gantt {
+		return fmt.Errorf("-gantt is a simulator feature; batch mode has no machine activity chart")
+	}
+	mode, err := cluster.ModeByName(cfg.modeName)
+	if err != nil {
+		return err
+	}
+	l := pascal.MustNew()
+	// Every file is submitted at once, so size the admission queue to
+	// the batch: the point of the bounded queue is to protect a
+	// service from unbounded strangers, not to refuse work this
+	// process already holds in argv.
+	pool := parallel.NewPool(parallel.PoolOptions{Workers: cfg.workers, QueueDepth: len(args)})
+	defer pool.Close()
+	opts := parallel.Options{
+		Mode:        mode,
+		Granularity: cfg.gran,
+		Librarian:   !cfg.noLib,
+		UIDPreset:   !cfg.chain,
+	}
+
+	start := time.Now()
+	results := make([]batchResult, len(args))
+	var wg sync.WaitGroup
+	for i, file := range args {
+		wg.Add(1)
+		go func(i int, file string) {
+			defer wg.Done()
+			results[i] = batchResult{file: file}
+			data, err := os.ReadFile(file)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			job, err := l.ClusterJob(string(data))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			res, err := pool.Compile(context.Background(), job, opts)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			if errs := pascal.SemanticErrors(res.RootAttrs); len(errs) > 0 {
+				results[i].err = fmt.Errorf("%d semantic error(s): %s", len(errs), errs[0])
+				return
+			}
+			results[i].res = res
+		}(i, file)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "pagc: %s: %v\n", r.file, r.err)
+			continue
+		}
+		if !cfg.quiet {
+			fmt.Fprintf(out, "%s: %d bytes of VAX assembly, %d fragment(s), %v (split %v + eval %v + splice %v)\n",
+				r.file, len(r.res.Program), r.res.Frags, r.res.WallTime,
+				r.res.SplitTime, r.res.EvalTime, r.res.SpliceTime)
+		}
+		if cfg.asm {
+			fmt.Fprintf(out, "; ==== %s ====\n%s\n", r.file, r.res.Program)
+		}
+	}
+	if !cfg.quiet {
+		fmt.Fprintf(out, "batch: %d/%d file(s) on a %d-worker pool in %v\n",
+			len(args)-failed, len(args), pool.Workers(), wall)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d file(s) failed", failed, len(args))
 	}
 	return nil
 }

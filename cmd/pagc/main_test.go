@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pag/internal/workload"
+)
+
+func defaults() config {
+	return config{machines: 1, modeName: "combined", quiet: true}
+}
+
+// TestRejectsBadMachineCount is the regression test for -n validation:
+// the flag documents 1..6 but out-of-range values used to be passed
+// straight to the simulator.
+func TestRejectsBadMachineCount(t *testing.T) {
+	for _, n := range []int{0, -3, 7, 100} {
+		cfg := defaults()
+		cfg.machines = n
+		cfg.wl = "tiny"
+		if err := run(os.Stdout, cfg, nil); err == nil {
+			t.Errorf("-n %d was accepted", n)
+		} else if !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("-n %d: error %q does not mention the range", n, err)
+		}
+	}
+}
+
+// TestRejectsExtraOperands is the regression test for the silently
+// ignored positional arguments: more than one file, or files combined
+// with -workload, must be a usage error.
+func TestRejectsExtraOperands(t *testing.T) {
+	cfg := defaults()
+	if err := run(os.Stdout, cfg, []string{"a.pas", "b.pas"}); err == nil {
+		t.Error("two file operands were accepted outside -batch")
+	}
+	cfg.wl = "tiny"
+	if err := run(os.Stdout, cfg, []string{"a.pas"}); err == nil {
+		t.Error("a file operand alongside -workload was accepted")
+	}
+}
+
+// TestSingleFileAndBatchAgree compiles the same source once through
+// the simulator path and once through the batch pool and checks both
+// succeed (byte-level parity of the two runtimes is locked in by the
+// internal/parallel tests).
+func TestSingleFileAndBatchAgree(t *testing.T) {
+	dir := t.TempDir()
+	src := workload.Generate(workload.Tiny())
+	files := make([]string, 3)
+	for i := range files {
+		files[i] = filepath.Join(dir, "prog"+string(rune('a'+i))+".pas")
+		if err := os.WriteFile(files[i], []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg := defaults()
+	cfg.machines = 2
+	cfg.quiet = false
+	cfg.asm = true
+	var single bytes.Buffer
+	if err := run(&single, cfg, files[:1]); err != nil {
+		t.Fatalf("single-file run: %v", err)
+	}
+	if !strings.Contains(single.String(), "compiled on 2 machine(s)") {
+		t.Errorf("single-file summary missing:\n%s", single.String())
+	}
+
+	bcfg := defaults()
+	bcfg.batch = true
+	bcfg.workers = 2
+	bcfg.quiet = false
+	bcfg.asm = true
+	var batch bytes.Buffer
+	if err := run(&batch, bcfg, files); err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	out := batch.String()
+	if !strings.Contains(out, "batch: 3/3 file(s)") {
+		t.Errorf("batch summary missing:\n%s", out)
+	}
+	for _, f := range files {
+		if !strings.Contains(out, "; ==== "+f+" ====") {
+			t.Errorf("batch -S output missing assembly for %s", f)
+		}
+	}
+
+	// Batch failures must be reported, not swallowed.
+	bad := filepath.Join(dir, "missing.pas")
+	if err := run(os.Stdout, bcfg, []string{files[0], bad}); err == nil {
+		t.Error("batch run with a missing file reported success")
+	}
+}
+
+// TestBatchRejectsSimulatorFlags checks that simulator-only flags are
+// refused in batch mode instead of being silently ignored.
+func TestBatchRejectsSimulatorFlags(t *testing.T) {
+	cfg := defaults()
+	cfg.batch = true
+	cfg.machines = 2
+	if err := run(os.Stdout, cfg, []string{"a.pas"}); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("-batch -n 2: err = %v, want a hint to use -workers", err)
+	}
+	cfg = defaults()
+	cfg.batch = true
+	cfg.gantt = true
+	if err := run(os.Stdout, cfg, []string{"a.pas"}); err == nil || !strings.Contains(err.Error(), "gantt") {
+		t.Errorf("-batch -gantt: err = %v, want a gantt rejection", err)
+	}
+}
+
+// TestWorkersFlagRequiresBatch: -workers must not be silently ignored
+// on simulator runs.
+func TestWorkersFlagRequiresBatch(t *testing.T) {
+	cfg := defaults()
+	cfg.workers = 8
+	cfg.wl = "tiny"
+	if err := run(os.Stdout, cfg, nil); err == nil || !strings.Contains(err.Error(), "-batch") {
+		t.Errorf("-workers without -batch: err = %v, want a rejection naming -batch", err)
+	}
+}
+
+// TestBatchManyFilesNoOverload: a batch larger than the pool's
+// default admission bounds must queue, not fail with ErrOverloaded.
+func TestBatchManyFilesNoOverload(t *testing.T) {
+	dir := t.TempDir()
+	src := workload.Generate(workload.Tiny())
+	files := make([]string, 80)
+	for i := range files {
+		files[i] = filepath.Join(dir, fmt.Sprintf("p%02d.pas", i))
+		if err := os.WriteFile(files[i], []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := defaults()
+	cfg.batch = true
+	cfg.workers = 2
+	if err := run(os.Stdout, cfg, files); err != nil {
+		t.Fatalf("80-file batch on a 2-worker pool: %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+// Command pagd is the persistent compile service: one long-lived
+// worker pool (pag.NewPool) serving compile jobs over HTTP — the
+// paper's standing network multiprocessor (§3) as a daemon that
+// compilations are farmed out to, instead of a machine room assembled
+// per compilation.
+//
+//	pagd -addr :8642 -workers 8 -max-inflight 16 -queue 64
+//
+// Endpoints:
+//
+//	POST /compile   submit a job: {"source": "program ...", ...} or
+//	                {"workload": "tiny"|"small"|"course", ...}, plus
+//	                optional "fragments", "mode" ("combined"|"dynamic"),
+//	                "no_librarian", "uid_chain", "timeout_ms".
+//	                Default: a stream of JSON-lines status events
+//	                ending in {"status":"done","assembly":...} or
+//	                {"status":"error",...}. With ?format=asm the
+//	                response is the plain VAX assembly text (errors map
+//	                to HTTP status codes), which diffs cleanly against
+//	                `pagc -q -S`.
+//	GET  /healthz   liveness probe ("ok").
+//	GET  /stats     pool statistics as JSON (in-flight, queued, done).
+//
+// Overload degrades honestly: jobs beyond the max-in-flight bound wait
+// in the bounded admission queue, and beyond that the service answers
+// 503 instead of accumulating unbounded state.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pag/internal/cluster"
+	"pag/internal/parallel"
+	"pag/internal/pascal"
+	"pag/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	workers := flag.Int("workers", 0, "pool worker goroutines (0 = all CPUs)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluating jobs (0 = worker count)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond max-inflight (0 = default, <0 = none)")
+	flag.Parse()
+
+	s := newServer(parallel.PoolOptions{Workers: *workers, MaxInFlight: *maxInFlight, QueueDepth: *queue})
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("pagd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain before pool close
+		s.pool.Close()
+	}()
+
+	log.Printf("pagd: serving on %s with %d worker(s)", *addr, s.pool.Workers())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pagd: %v", err)
+	}
+	<-done
+}
+
+// server is the HTTP face of one compile pool. It is a separate type
+// so tests drive the handlers through httptest without a socket.
+type server struct {
+	pool *parallel.Pool
+	lang *pascal.Lang
+}
+
+func newServer(opts parallel.PoolOptions) *server {
+	return &server{pool: parallel.NewPool(opts), lang: pascal.MustNew()}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.pool.Stats()) //nolint:errcheck // best-effort stats
+	})
+	return mux
+}
+
+// compileRequest is the wire form of one compile job.
+type compileRequest struct {
+	// Source is Pascal text; Workload names a generated program
+	// (tiny, small, course). Exactly one must be set.
+	Source   string `json:"source,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// Fragments caps the decomposition (0 = the pool's worker count,
+	// matching `pagc -n` at the same width).
+	Fragments int `json:"fragments,omitempty"`
+	// Mode is "combined" (default) or "dynamic".
+	Mode string `json:"mode,omitempty"`
+	// NoLibrarian and UIDChain disable the §4.3 optimizations, like
+	// pagc's -nolibrarian and -uidchain.
+	NoLibrarian bool `json:"no_librarian,omitempty"`
+	UIDChain    bool `json:"uid_chain,omitempty"`
+	// TimeoutMs bounds the job; 0 means no extra bound beyond the
+	// request context.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// event is one JSON line of the default streaming response.
+type event struct {
+	Status        string   `json:"status"` // queued, done, error
+	Error         string   `json:"error,omitempty"`
+	Errors        []string `json:"errors,omitempty"` // semantic errors
+	Frags         int      `json:"frags,omitempty"`
+	Workers       int      `json:"workers,omitempty"`
+	Messages      int      `json:"messages,omitempty"`
+	WallMs        float64  `json:"wall_ms,omitempty"`
+	EvalMs        float64  `json:"eval_ms,omitempty"`
+	AssemblyBytes int      `json:"assembly_bytes,omitempty"`
+	Assembly      string   `json:"assembly,omitempty"`
+}
+
+// httpStatusFor maps compile failures onto HTTP status codes for the
+// plain-text (?format=asm) response mode.
+func httpStatusFor(err error) int {
+	switch {
+	case errors.Is(err, parallel.ErrOverloaded), errors.Is(err, parallel.ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req compileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	src, opts, err := s.jobSpec(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+
+	if r.URL.Query().Get("format") == "asm" {
+		s.compileASM(ctx, w, src, opts)
+		return
+	}
+	s.compileStream(ctx, w, src, opts)
+}
+
+// jobSpec validates the request and resolves source text and runtime
+// options.
+func (s *server) jobSpec(req compileRequest) (string, parallel.Options, error) {
+	var opts parallel.Options
+	src := req.Source
+	switch {
+	case req.Source != "" && req.Workload != "":
+		return "", opts, fmt.Errorf(`"source" and "workload" are mutually exclusive`)
+	case req.Source == "" && req.Workload == "":
+		return "", opts, fmt.Errorf(`one of "source" or "workload" is required`)
+	case req.Workload != "":
+		cfg, err := workload.ByName(req.Workload)
+		if err != nil {
+			return "", opts, err
+		}
+		src = workload.Generate(cfg)
+	}
+	mode, err := cluster.ModeByName(req.Mode)
+	if err != nil {
+		return "", opts, err
+	}
+	opts.Mode = mode
+	if req.Fragments < 0 {
+		return "", opts, fmt.Errorf("fragments %d is negative", req.Fragments)
+	}
+	if req.TimeoutMs < 0 {
+		return "", opts, fmt.Errorf("timeout_ms %d is negative", req.TimeoutMs)
+	}
+	opts.Fragments = req.Fragments
+	opts.Librarian = !req.NoLibrarian
+	opts.UIDPreset = !req.UIDChain
+	return src, opts, nil
+}
+
+// compile parses the source and runs the job on the pool.
+func (s *server) compile(ctx context.Context, src string, opts parallel.Options) (*parallel.Result, error) {
+	job, err := s.lang.ClusterJob(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.pool.Compile(ctx, job, opts)
+	if err != nil {
+		return nil, err
+	}
+	if errs := pascal.SemanticErrors(res.RootAttrs); len(errs) > 0 {
+		return nil, &semanticError{errs: errs}
+	}
+	return res, nil
+}
+
+type semanticError struct{ errs []string }
+
+func (e *semanticError) Error() string {
+	return fmt.Sprintf("%d semantic error(s): %s", len(e.errs), strings.Join(e.errs, "; "))
+}
+
+// compileASM is the plain-text response mode: the body is exactly the
+// assembly `pagc -q -S` prints for the same job.
+func (s *server) compileASM(ctx context.Context, w http.ResponseWriter, src string, opts parallel.Options) {
+	res, err := s.compile(ctx, src, opts)
+	if err != nil {
+		http.Error(w, err.Error(), httpStatusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, res.Program)
+}
+
+// compileStream is the default response mode: JSON lines, one event
+// per state change, flushed as they happen so a slow compile streams
+// status before the assembly arrives.
+func (s *server) compileStream(ctx context.Context, w http.ResponseWriter, src string, opts parallel.Options) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	emit := func(e event) {
+		enc.Encode(e) //nolint:errcheck // a dead client aborts via ctx
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	emit(event{Status: "queued"})
+	res, err := s.compile(ctx, src, opts)
+	if err != nil {
+		var sem *semanticError
+		if errors.As(err, &sem) {
+			emit(event{Status: "error", Error: err.Error(), Errors: sem.errs})
+			return
+		}
+		emit(event{Status: "error", Error: err.Error()})
+		return
+	}
+	emit(event{
+		Status:        "done",
+		Frags:         res.Frags,
+		Workers:       res.Workers,
+		Messages:      res.Messages,
+		WallMs:        float64(res.WallTime) / float64(time.Millisecond),
+		EvalMs:        float64(res.EvalTime) / float64(time.Millisecond),
+		AssemblyBytes: len(res.Program),
+		Assembly:      res.Program,
+	})
+}

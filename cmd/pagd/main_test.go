@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pag/internal/cluster"
+	"pag/internal/parallel"
+	"pag/internal/workload"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(parallel.PoolOptions{Workers: 2, MaxInFlight: 4})
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		s.pool.Close()
+	})
+	return s, ts
+}
+
+// TestCompileWorkloadASM checks the plain-text mode end to end: the
+// daemon's assembly for the tiny workload must be byte-identical to
+// the simulated cluster's at the same decomposition width — the same
+// parity `pagc -q -S -n 2` relies on.
+func TestCompileWorkloadASM(t *testing.T) {
+	s, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/compile?format=asm", "application/json",
+		strings.NewReader(`{"workload":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+
+	job, err := s.lang.ClusterJob(workload.Generate(workload.Tiny()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := cluster.Run(job, cluster.Options{
+		Machines: 2, Mode: cluster.Combined, Librarian: true, UIDPreset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Program + "\n"; got != want {
+		t.Errorf("daemon assembly (%d bytes) differs from 2-machine cluster assembly (%d bytes)",
+			len(got), len(want))
+	}
+}
+
+// TestCompileStreamEvents checks the default JSON-lines mode: a queued
+// event, then a done event carrying the assembly.
+func TestCompileStreamEvents(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/compile", "application/json",
+		strings.NewReader(`{"workload":"tiny","fragments":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 || events[0].Status != "queued" || events[1].Status != "done" {
+		t.Fatalf("event sequence = %+v, want queued then done", events)
+	}
+	done := events[1]
+	if done.Assembly == "" || done.AssemblyBytes != len(done.Assembly) || done.Frags != 2 {
+		t.Errorf("done event incomplete: frags=%d bytes=%d len=%d",
+			done.Frags, done.AssemblyBytes, len(done.Assembly))
+	}
+}
+
+// TestCompileRequestValidation checks the 4xx paths.
+func TestCompileRequestValidation(t *testing.T) {
+	_, ts := testServer(t)
+	for name, body := range map[string]string{
+		"empty":          `{}`,
+		"both":           `{"source":"program p; begin end.","workload":"tiny"}`,
+		"bad workload":   `{"workload":"enormous"}`,
+		"bad mode":       `{"workload":"tiny","mode":"psychic"}`,
+		"negative frags": `{"workload":"tiny","fragments":-1}`,
+		"not even json":  `{`,
+	} {
+		resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestSemanticErrorsReported checks that a program with semantic
+// errors comes back as a structured error event, not a panic or empty
+// assembly.
+func TestSemanticErrorsReported(t *testing.T) {
+	_, ts := testServer(t)
+	body := `{"source":"program p; begin x := 1 end."}` // x undeclared
+	resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var last event
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Status != "error" || len(last.Errors) == 0 {
+		t.Errorf("final event = %+v, want a semantic error report", last)
+	}
+}
+
+// TestManyConcurrentRequests drives the daemon the way a busy service
+// sees it: concurrent jobs over one pool, every response complete and
+// identical for identical requests.
+func TestManyConcurrentRequests(t *testing.T) {
+	_, ts := testServer(t)
+	const n = 8
+	outs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/compile?format=asm", "application/json",
+				strings.NewReader(`{"workload":"tiny"}`))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			outs[i] = string(raw)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if outs[i] != outs[0] {
+			t.Errorf("request %d produced different assembly than request 0", i)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st parallel.PoolStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Done < n {
+		t.Errorf("stats report %d done jobs, want >= %d", st.Done, n)
+	}
+}

@@ -41,6 +41,20 @@ func (m Mode) String() string {
 	}
 }
 
+// ModeByName parses a mode name — the vocabulary shared by every
+// frontend (pagc flags, pagd requests), so they cannot diverge. The
+// empty string is Combined, the default everywhere.
+func ModeByName(name string) (Mode, error) {
+	switch name {
+	case "", "combined":
+		return Combined, nil
+	case "dynamic":
+		return Dynamic, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (combined, dynamic)", name)
+	}
+}
+
 // AttrKey names one attribute of one symbol.
 type AttrKey struct {
 	Sym  *ag.Symbol
@@ -220,6 +234,12 @@ func Run(job Job, opts Options) (*Result, error) {
 	}
 	if (opts.Hardware == netsim.Config{}) {
 		opts.Hardware = netsim.DefaultHardware()
+	}
+	// A partially filled Hardware (say, CPUScale set but bandwidth
+	// zero) would otherwise fail deep inside the simulation; reject it
+	// here with the cluster's name on the error.
+	if err := opts.Hardware.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: invalid hardware: %w", err)
 	}
 
 	root := job.Root.Clone()

@@ -17,6 +17,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -36,6 +37,25 @@ type Config struct {
 	SharedBus bool
 	// CPUScale multiplies all Compute durations (1.0 = SUN-2 speed).
 	CPUScale float64
+}
+
+// Validate checks that the hardware description is physically usable.
+// A zero-value Config used to sail through and then divide by its zero
+// bandwidth on the first Send (infinite transfer times) — or, with
+// CPUScale left at zero, run all Computes for free; both now fail here
+// with an explanation instead.
+func (c Config) Validate() error {
+	if c.MsgLatency < 0 {
+		return fmt.Errorf("netsim: MsgLatency %v is negative", c.MsgLatency)
+	}
+	if !(c.BandwidthBytesPerSec > 0) || math.IsInf(c.BandwidthBytesPerSec, 0) {
+		return fmt.Errorf("netsim: BandwidthBytesPerSec must be positive and finite, got %v (did you mean DefaultHardware()?)",
+			c.BandwidthBytesPerSec)
+	}
+	if !(c.CPUScale > 0) || math.IsInf(c.CPUScale, 0) {
+		return fmt.Errorf("netsim: CPUScale must be positive and finite, got %v (1.0 = SUN-2 speed)", c.CPUScale)
+	}
+	return nil
 }
 
 // DefaultHardware returns constants calibrated to the paper's testbed:
@@ -103,11 +123,12 @@ type Sim struct {
 	seq       int // message sequence for FIFO tie-breaking
 }
 
-// New creates a simulator with the given hardware configuration.
+// New creates a simulator with the given hardware configuration. The
+// configuration is validated when Run starts (see Config.Validate), so
+// an unusable Config — e.g. the zero value, whose zero bandwidth would
+// make every transfer infinite — surfaces as an error instead of
+// corrupting the simulation.
 func New(cfg Config) *Sim {
-	if cfg.CPUScale == 0 {
-		cfg.CPUScale = 1
-	}
 	return &Sim{cfg: cfg, tr: &trace.Trace{}}
 }
 
@@ -137,6 +158,12 @@ var ErrDeadlock = errors.New("netsim: deadlock: all processes blocked on Recv")
 // Run executes the simulation to completion and returns the final
 // virtual time (the maximum clock over all processes).
 func (s *Sim) Run() (time.Duration, error) {
+	// Reject unusable hardware before any process goroutine starts, so
+	// a bad Config is an error, not Inf/NaN virtual times (and nothing
+	// needs shutting down on this path).
+	if err := s.cfg.Validate(); err != nil {
+		return 0, err
+	}
 	for _, p := range s.procs {
 		p := p
 		go func() {

@@ -2,6 +2,7 @@ package netsim_test
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -254,5 +255,53 @@ func TestTryRecv(t *testing.T) {
 	}
 	if got != 41 {
 		t.Errorf("payload = %d", got)
+	}
+}
+
+// TestInvalidConfigRejected is the regression test for the
+// divide-by-zero hardware bug: a zero-value Config (bandwidth 0) made
+// every Send produce an infinite transfer time, and CPUScale 0 made
+// all Computes free. Run must reject such configs with an error — and
+// without leaking process goroutines, since validation happens before
+// any process starts.
+func TestInvalidConfigRejected(t *testing.T) {
+	cases := map[string]netsim.Config{
+		"zero value":     {},
+		"zero bandwidth": {MsgLatency: time.Millisecond, CPUScale: 1, SharedBus: true},
+		"zero cpu scale": {MsgLatency: time.Millisecond, BandwidthBytesPerSec: 1e6},
+		"negative bandwidth": {
+			MsgLatency: time.Millisecond, BandwidthBytesPerSec: -5, CPUScale: 1,
+		},
+		"negative latency": {
+			MsgLatency: -time.Millisecond, BandwidthBytesPerSec: 1e6, CPUScale: 1,
+		},
+		"inf bandwidth": {
+			MsgLatency: time.Millisecond, BandwidthBytesPerSec: math.Inf(1), CPUScale: 1,
+		},
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", cfg)
+			}
+			sim := netsim.New(cfg)
+			var recv *netsim.Proc
+			ran := false
+			recv = sim.Spawn("r", func(p *netsim.Proc) { ran = true; p.Recv() })
+			sim.Spawn("s", func(p *netsim.Proc) {
+				ran = true
+				p.Compute(time.Millisecond)
+				p.Send(recv, "x", 1, 100)
+			})
+			if _, err := sim.Run(); err == nil {
+				t.Fatal("Run accepted an invalid hardware config")
+			}
+			if ran {
+				t.Error("a process body ran under an invalid config")
+			}
+		})
+	}
+	if err := fastNet().Validate(); err != nil {
+		t.Errorf("Validate rejected a sane config: %v", err)
 	}
 }

@@ -28,14 +28,21 @@
 //     exchange O(1)-sized rope descriptors; the final program is
 //     spliced once at the end (§4.3).
 //
+// The paper frames the evaluator machines as a standing facility that
+// compilations are farmed out to (§3), and that is how the runtime is
+// organized: Pool is the long-lived facility — worker goroutines,
+// deques, shared read-only analyses — multiplexing many concurrent
+// jobs, each isolated in its own fragment set and librarian handle
+// namespace. Run wraps a whole Pool lifecycle around a single job.
+//
 // Because attribute evaluation is purely functional, the result is
 // deterministic regardless of scheduling, and byte-identical to the
 // simulated cluster runtime given the same decomposition.
 package parallel
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +57,8 @@ import (
 // Options configures one parallel compilation.
 type Options struct {
 	// Workers is the number of worker goroutines; <= 0 uses GOMAXPROCS.
+	// On an existing Pool it only provides the Fragments default (the
+	// pool's own width is fixed at NewPool time).
 	Workers int
 	// Fragments caps the decomposition; 0 splits into at most Workers
 	// fragments (mirroring the cluster's one-fragment-per-machine
@@ -62,8 +71,8 @@ type Options struct {
 	// fragments exchange O(1) descriptors instead of rope structure.
 	// With the librarian enabled the effective Fragments request (and
 	// hence the worker count it defaults from) must not exceed
-	// rope.MaxHandleRanges; Run rejects wider requests up front rather
-	// than risk silent handle-range collisions.
+	// rope.MaxHandleRanges; the run rejects wider requests up front
+	// rather than risk silent handle-range collisions.
 	Librarian bool
 	// Granularity is the minimum linearized subtree size for a split;
 	// 0 derives it from the tree size and fragment count.
@@ -92,8 +101,9 @@ type Result struct {
 	// it and setting up the fragment actors.
 	SplitTime time.Duration
 	// EvalTime is the parallel attribute evaluation proper: from the
-	// moment the worker pool starts until it reaches quiescence. This
-	// is the phase the paper's running-time figures measure.
+	// moment the fragments are handed to the worker pool until the job
+	// reaches quiescence. This is the phase the paper's running-time
+	// figures measure.
 	EvalTime time.Duration
 	// SpliceTime covers assembling the final program text (librarian
 	// splice / rope flatten) after evaluation.
@@ -104,7 +114,7 @@ type Result struct {
 	PerFrag []eval.Stats
 	// Frags is the number of fragments the tree was split into.
 	Frags int
-	// Workers is the number of worker goroutines used.
+	// Workers is the requested evaluation width (the fragment default).
 	Workers int
 	// Decomp describes the process tree.
 	Decomp *tree.Decomposition
@@ -136,6 +146,7 @@ type outBatch struct {
 // worker executes step on a fragment at a time; inbox, queued and done
 // are the only cross-goroutine state and are guarded by mu.
 type frag struct {
+	r      *rt // the owning job's runtime (fragments of many jobs share the deques)
 	id     int
 	parent int
 	root   *tree.Node
@@ -159,7 +170,10 @@ type frag struct {
 	stats eval.Stats
 }
 
-// rt is the shared state of one parallel run.
+// rt is the state of one job in flight on a Pool: the job's private
+// fragment set, librarian (handle namespace), message counters and
+// quiescence tracking. The sched it pushes to is the pool's shared
+// scheduler.
 type rt struct {
 	job  cluster.Job
 	opts Options
@@ -171,155 +185,37 @@ type rt struct {
 	uidBase  map[cluster.AttrKey]bool
 	uidCount map[cluster.AttrKey]bool
 
-	sched    *sched
-	pending  atomic.Int64 // queued or running fragments; 0 = quiescent
-	doneCnt  atomic.Int64
+	sched   *sched
+	pending atomic.Int64 // queued or running fragments; 0 = quiescent
+	doneCnt atomic.Int64
+	// cancelled flips once when the job's context ends; workers then
+	// discard the job's fragments instead of evaluating them.
+	cancelled atomic.Bool
+	// quiet closes at job quiescence: no fragment queued or running
+	// (all done, cancelled, or deadlock).
+	quiet    chan struct{}
 	messages atomic.Int64
 
 	rootAttrs []ag.Value // written only by the worker driving fragment 0
 }
 
 // Run executes one parallel compilation across real CPU cores and
-// returns its result. The job's tree is cloned, so the job can be
-// reused (and compared against cluster.Run on the same job).
+// returns its result: a one-shot Pool serving a single job. The job's
+// tree is cloned, so the job can be reused (and compared against
+// cluster.Run on the same job). Services that compile repeatedly
+// should hold a Pool and call Compile instead.
 func Run(job cluster.Job, opts Options) (*Result, error) {
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
 	if opts.Mode == 0 {
 		opts.Mode = cluster.Combined
 	}
+	// One-shot runs keep the strict contract: the caller supplies the
+	// analysis (a Pool would compute and cache one per grammar).
 	if opts.Mode == cluster.Combined && job.A == nil {
 		return nil, fmt.Errorf("parallel: combined mode requires an OAG analysis")
 	}
-	if opts.Fragments <= 0 {
-		opts.Fragments = opts.Workers
-	}
-	// Validate the requested decomposition width against the
-	// librarian's handle-range layout before doing any work: a wider
-	// librarian run would panic mid-evaluation when a fragment claims
-	// an out-of-range handle base. Rejecting the request up front (for
-	// any librarian run, whether or not the grammar routes a code
-	// attribute through it) turns that crash into an error.
-	if opts.Librarian && opts.Fragments > rope.MaxHandleRanges {
-		return nil, fmt.Errorf("parallel: %d fragments (from %d workers) exceed the librarian's %d handle ranges",
-			opts.Fragments, opts.Workers, rope.MaxHandleRanges)
-	}
-	start := time.Now()
-
-	// The parser side: clone and decompose, same policy as the cluster.
-	root := job.Root.Clone()
-	gran := opts.Granularity
-	if gran == 0 {
-		gran = tree.GranularityFor(root, opts.Fragments)
-	}
-	decomp := tree.Decompose(root, gran, opts.Fragments)
-
-	// Identify the code attribute of the start symbol. The
-	// decomposition is never wider than the validated Fragments
-	// request, so librarian handle ranges cannot run out here.
-	codeAttr := cluster.CodeAttr(job.G)
-	useLib := opts.Librarian && codeAttr >= 0
-
-	r := &rt{
-		job:       job,
-		opts:      opts,
-		leafOf:    make(map[int]*tree.Node),
-		lib:       rope.NewLibrarian(),
-		useLib:    useLib,
-		uidBase:   make(map[cluster.AttrKey]bool),
-		uidCount:  make(map[cluster.AttrKey]bool),
-		sched:     newSched(opts.Workers),
-		rootAttrs: make([]ag.Value, len(job.G.Start.Attrs)),
-	}
-	for _, k := range job.UIDs {
-		r.uidBase[cluster.AttrKey{Sym: k.Sym, Attr: k.Base}] = true
-		r.uidCount[cluster.AttrKey{Sym: k.Sym, Attr: k.Count}] = true
-	}
-	for _, f := range decomp.Frags {
-		fr := &frag{id: f.ID, parent: f.Parent, root: f.Root, leaves: tree.RemoteLeaves(f.Root)}
-		r.frags = append(r.frags, fr)
-		for _, leaf := range fr.leaves {
-			r.leafOf[leaf.RemoteID] = leaf
-		}
-	}
-
-	// Seed every fragment round-robin across the worker deques, then
-	// let the pool run to quiescence.
-	r.pending.Store(int64(len(r.frags)))
-	for _, f := range r.frags {
-		f.queued = true
-		r.sched.push(f.id%opts.Workers, int32(f.id))
-	}
-	splitDone := time.Now()
-
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := uint64(w)*0x9E3779B97F4A7C15 + 0x1234567
-			for {
-				id, ok := r.sched.popLocal(w)
-				if !ok {
-					id, ok = r.sched.steal(w, &rng)
-				}
-				if !ok {
-					id = r.sched.park(w)
-					if id < 0 {
-						return
-					}
-				}
-				r.step(w, r.frags[id])
-			}
-		}(w)
-	}
-	wg.Wait()
-	evalDone := time.Now()
-
-	if int(r.doneCnt.Load()) != len(r.frags) {
-		var blocked []string
-		for _, f := range r.frags {
-			if f.ev != nil && !f.ev.Done() {
-				for _, b := range f.ev.Blocked() {
-					blocked = append(blocked, fmt.Sprintf("fragment %d: %s", f.id, b))
-				}
-			}
-		}
-		return nil, fmt.Errorf("parallel: %s on %d worker(s) deadlocked; blocked: %v",
-			opts.Mode, opts.Workers, blocked)
-	}
-
-	res := &Result{
-		RootAttrs: r.rootAttrs,
-		Frags:     decomp.NumFragments(),
-		Workers:   opts.Workers,
-		Decomp:    decomp,
-		Messages:  int(r.messages.Load()),
-	}
-	for _, f := range r.frags {
-		res.PerFrag = append(res.PerFrag, f.stats)
-		res.Stats.Add(f.stats)
-	}
-	if codeAttr >= 0 {
-		if code, ok := r.rootAttrs[codeAttr].(rope.Code); ok {
-			res.Program = rope.FlattenCode(code, r.lib.Lookup)
-			if r.useLib {
-				// The raw value may reference librarian handles the
-				// caller cannot resolve (the librarian dies with the
-				// run); expose the spliced text instead, so RootAttrs
-				// is always consumable with a nil lookup.
-				res.RootAttrs[codeAttr] = rope.Leaf(res.Program)
-			}
-		}
-	}
-	res.StoredStrings, res.StoredBytes = r.lib.Stored()
-	now := time.Now()
-	res.SplitTime = splitDone.Sub(start)
-	res.EvalTime = evalDone.Sub(splitDone)
-	res.SpliceTime = now.Sub(evalDone)
-	res.WallTime = now.Sub(start)
-	return res, nil
+	p := NewPool(PoolOptions{Workers: opts.Workers, MaxInFlight: 1})
+	defer p.Close()
+	return p.Compile(context.Background(), job, opts)
 }
 
 // send routes one outbound attribute value from fragment f. Priority
@@ -377,17 +273,36 @@ func (r *rt) postBatch(from *frag, target *frag, msgs []message) {
 	target.mu.Unlock()
 	if enqueue {
 		// The poster's own step still holds a pending reference, so the
-		// pool cannot quiesce before this push lands.
+		// job cannot look quiescent before this push lands.
 		r.pending.Add(1)
-		r.sched.push(from.curWorker, int32(target.id))
+		r.sched.push(from.curWorker, target)
 	}
 }
 
 // step drives one fragment on worker w: build its evaluator on first
 // entry, drain the mailbox (whole inbox under one lock), evaluate until
 // blocked, deliver the outbound batches, repeat until the mailbox stays
-// empty or the fragment completes.
+// empty or the fragment completes. Fragments of cancelled jobs are
+// discarded instead: marked done (so pending messages drop) without
+// touching the evaluator.
 func (r *rt) step(w int, f *frag) {
+	if r.cancelled.Load() {
+		f.mu.Lock()
+		f.done = true
+		f.mu.Unlock()
+	} else {
+		r.run(w, f)
+	}
+	if r.pending.Add(-1) == 0 {
+		// Nothing of this job queued or running, no messages in
+		// flight: the job is quiescent (all fragments done, cancelled,
+		// or deadlock). The pool's workers move on to other jobs.
+		close(r.quiet)
+	}
+}
+
+// run is the evaluation body of step.
+func (r *rt) run(w int, f *frag) {
 	f.curWorker = w
 	if f.ev == nil {
 		r.initFrag(f)
@@ -409,20 +324,15 @@ func (r *rt) step(w int, f *frag) {
 			f.done = true // queued stays true: completed fragments never reschedule
 			f.mu.Unlock()
 			r.doneCnt.Add(1)
-			break
+			return
 		}
 		f.mu.Lock()
-		if len(f.inbox) == 0 {
+		if len(f.inbox) == 0 || r.cancelled.Load() {
 			f.queued = false
 			f.mu.Unlock()
-			break
+			return
 		}
 		f.mu.Unlock()
-	}
-	if r.pending.Add(-1) == 0 {
-		// Nothing queued, nothing running, no messages in flight: the
-		// pool is quiescent (all fragments done, or deadlock).
-		r.sched.shutdown()
 	}
 }
 
@@ -432,9 +342,11 @@ func (r *rt) step(w int, f *frag) {
 func (r *rt) initFrag(f *frag) {
 	// Per-fragment handle range, as in the simulated cluster: stores
 	// from a fragment are sequential (one worker drives it at a time),
-	// and ranges of distinct fragments never collide. Only librarian
-	// runs need one (HandleBase bounds-checks the id; Run has validated
-	// the decomposition width when the librarian is in play).
+	// and ranges of distinct fragments never collide. The librarian
+	// itself is private to the job, so fragments of concurrent jobs
+	// cannot collide either. Only librarian runs need a range
+	// (HandleBase bounds-checks the id; the pool has validated the
+	// decomposition width when the librarian is in play).
 	if r.useLib {
 		f.store = r.lib.Range(rope.HandleBase(f.id))
 	}

@@ -1,0 +1,447 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pag/internal/ag"
+	"pag/internal/cluster"
+	"pag/internal/rope"
+	"pag/internal/tree"
+)
+
+// PoolOptions configures a long-lived compile Pool.
+type PoolOptions struct {
+	// Workers is the number of worker goroutines; <= 0 uses GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds the number of jobs evaluating concurrently;
+	// <= 0 uses the worker count. Jobs beyond the bound wait in the
+	// admission queue.
+	MaxInFlight int
+	// QueueDepth bounds how many jobs may wait for admission beyond
+	// MaxInFlight: overload degrades to queueing up to this depth, then
+	// Compile fails fast with ErrOverloaded instead of accumulating
+	// unbounded state. 0 uses DefaultQueueDepth; negative disables
+	// queueing entirely (busy pool = immediate ErrOverloaded).
+	QueueDepth int
+}
+
+// DefaultQueueDepth is the admission-queue bound used when
+// PoolOptions.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// Pool failure modes, distinguishable with errors.Is.
+var (
+	// ErrPoolClosed reports a Compile on a closed Pool.
+	ErrPoolClosed = errors.New("parallel: pool is closed")
+	// ErrOverloaded reports that MaxInFlight jobs are evaluating and
+	// the admission queue is full.
+	ErrOverloaded = errors.New("parallel: pool overloaded (admission queue full)")
+)
+
+// Pool is a persistent compile service: one long-lived set of worker
+// goroutines and work-stealing deques serving many concurrent compile
+// jobs. It is the paper's standing network multiprocessor (§3) as a
+// runtime object — compilations are farmed out to it, rather than each
+// compilation assembling its own machine room.
+//
+// Isolation between concurrent jobs is structural: each job owns its
+// fragment set, its runtime state and its own string librarian (a
+// private handle-range namespace, so handles of distinct jobs can
+// never collide), while read-only state — the grammar, the OAG
+// analysis with its compiled visit plans — is shared across all jobs
+// of the same grammar. Jobs are cancellable via context: a cancelled
+// job's queued fragments are discarded as workers pop them, its
+// pending messages are dropped, and its workers move on to other jobs.
+//
+// The per-grammar analysis cache is keyed by grammar identity and
+// never evicted — the expected shape is a handful of long-lived
+// grammars (languages) serving many jobs. Callers that construct a
+// fresh Grammar per job should pass their own Job.A instead of
+// relying on the cache, or it grows with every new grammar.
+//
+// A Pool is safe for concurrent use. Close it when done; Run wraps a
+// whole Pool lifecycle around a single job for one-shot use.
+type Pool struct {
+	workers     int
+	maxInFlight int
+	queueDepth  int
+
+	sched *sched
+	wg    sync.WaitGroup
+
+	// Admission control: admit holds one token per in-flight job;
+	// queued counts jobs admitted or waiting, bounded by
+	// maxInFlight+queueDepth. Close drains admit completely, so holding
+	// a token also guarantees the workers are alive.
+	admit   chan struct{}
+	queued  atomic.Int64
+	closed  atomic.Bool
+	closeCh chan struct{}
+
+	// analyses caches one OAG analysis per grammar. The analysis (and
+	// the compiled per-production visit plans inside it) is immutable
+	// after construction, so all concurrent jobs of one grammar share a
+	// single copy.
+	analyses sync.Map // *ag.Grammar -> *ag.Analysis
+
+	// libs recycles per-job string librarians: a job that completes
+	// cleanly resets its librarian and returns it, so a busy service
+	// stops allocating librarian stores in steady state.
+	libs sync.Pool
+
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's activity.
+type PoolStats struct {
+	Workers     int   `json:"workers"`
+	MaxInFlight int   `json:"max_in_flight"`
+	QueueDepth  int   `json:"queue_depth"`
+	InFlight    int   `json:"in_flight"`
+	Waiting     int   `json:"waiting"`
+	Done        int64 `json:"jobs_done"`
+	Failed      int64 `json:"jobs_failed"`
+	Cancelled   int64 `json:"jobs_cancelled"`
+}
+
+// NewPool starts the worker goroutines and returns the ready pool.
+func NewPool(opts PoolOptions) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = opts.Workers
+	}
+	depth := opts.QueueDepth
+	switch {
+	case depth == 0:
+		depth = DefaultQueueDepth
+	case depth < 0:
+		depth = 0
+	}
+	p := &Pool{
+		workers:     opts.Workers,
+		maxInFlight: opts.MaxInFlight,
+		queueDepth:  depth,
+		sched:       newSched(opts.Workers),
+		admit:       make(chan struct{}, opts.MaxInFlight),
+		closeCh:     make(chan struct{}),
+	}
+	p.libs.New = func() any { return rope.NewLibrarian() }
+	for w := 0; w < p.workers; w++ {
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// worker is one pool worker: pop local work, steal, or park, forever —
+// fragments of every in-flight job interleave on the same deques.
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	rng := uint64(w)*0x9E3779B97F4A7C15 + 0x1234567
+	for {
+		f, ok := p.sched.popLocal(w)
+		if !ok {
+			f, ok = p.sched.steal(w, &rng)
+		}
+		if !ok {
+			if f = p.sched.park(w); f == nil {
+				return
+			}
+		}
+		f.r.step(w, f)
+	}
+}
+
+// Close rejects new jobs, waits for every admitted job to drain, then
+// stops the worker goroutines. It is idempotent.
+func (p *Pool) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.closeCh)
+	// Acquire every admission token: once we hold all of them, no job
+	// is in flight and none can start (acquire re-checks closed after
+	// winning a token).
+	for i := 0; i < cap(p.admit); i++ {
+		p.admit <- struct{}{}
+	}
+	p.sched.shutdown()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the pool's activity counters.
+func (p *Pool) Stats() PoolStats {
+	// queued counts real jobs (admitted or waiting); the admit channel
+	// additionally holds Close's drain tokens, which are not jobs —
+	// taking the min keeps the snapshot honest both in steady state
+	// (len(admit) <= queued) and while a Close drains (queued is the
+	// jobs still finishing).
+	inFlight := len(p.admit)
+	if q := int(p.queued.Load()); q < inFlight {
+		inFlight = q
+	}
+	waiting := int(p.queued.Load()) - inFlight
+	if waiting < 0 {
+		waiting = 0
+	}
+	return PoolStats{
+		Workers:     p.workers,
+		MaxInFlight: p.maxInFlight,
+		QueueDepth:  p.queueDepth,
+		InFlight:    inFlight,
+		Waiting:     waiting,
+		Done:        p.jobsDone.Load(),
+		Failed:      p.jobsFailed.Load(),
+		Cancelled:   p.jobsCancelled.Load(),
+	}
+}
+
+// Workers returns the pool's worker count (the default decomposition
+// width of jobs that don't request one).
+func (p *Pool) Workers() int { return p.workers }
+
+// acquire admits one job, waiting in the bounded queue when MaxInFlight
+// jobs are already evaluating.
+func (p *Pool) acquire(ctx context.Context) error {
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	if int(p.queued.Add(1)) > p.maxInFlight+p.queueDepth {
+		p.queued.Add(-1)
+		return ErrOverloaded
+	}
+	select {
+	case p.admit <- struct{}{}:
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		return ctx.Err()
+	case <-p.closeCh:
+		p.queued.Add(-1)
+		return ErrPoolClosed
+	}
+	// The select can win a token even when closeCh is also ready;
+	// Close sets closed before draining tokens, so this re-check makes
+	// a post-Close admission impossible.
+	if p.closed.Load() {
+		p.release()
+		return ErrPoolClosed
+	}
+	return nil
+}
+
+func (p *Pool) release() {
+	<-p.admit
+	p.queued.Add(-1)
+}
+
+// analysisFor returns the shared OAG analysis of g, computing it on
+// first use. Concurrent first users may both run the analysis; the
+// result is deterministic and one copy wins, so the cache stays
+// consistent.
+func (p *Pool) analysisFor(g *ag.Grammar) (*ag.Analysis, error) {
+	if a, ok := p.analyses.Load(g); ok {
+		return a.(*ag.Analysis), nil
+	}
+	a, err := ag.Analyze(g)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := p.analyses.LoadOrStore(g, a)
+	return actual.(*ag.Analysis), nil
+}
+
+// Compile runs one compile job on the pool and blocks until it
+// completes, fails, or ctx is cancelled. Many Compile calls may run
+// concurrently; each is isolated in its own fragment set and librarian
+// handle namespace, and the output is byte-identical to running the
+// job alone. If the job uses Combined mode and carries no analysis,
+// the pool supplies the shared one for its grammar.
+//
+// On cancellation the job's remaining fragments are reclaimed — queued
+// ones are dropped as workers pop them, in-flight messages to them are
+// discarded — and Compile returns ctx.Err().
+func (p *Pool) Compile(ctx context.Context, job cluster.Job, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		p.jobsCancelled.Add(1)
+		return nil, err
+	}
+	if err := p.acquire(ctx); err != nil {
+		// Jobs cancelled while waiting for admission count as
+		// cancelled; overload/closed rejections never entered and
+		// count as neither done nor failed.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			p.jobsCancelled.Add(1)
+		}
+		return nil, err
+	}
+	defer p.release()
+	res, err := p.compile(ctx, job, opts)
+	switch {
+	case err == nil:
+		p.jobsDone.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		p.jobsCancelled.Add(1)
+	default:
+		p.jobsFailed.Add(1)
+	}
+	return res, err
+}
+
+// compile is the admitted job body: decompose, seed the shared deques,
+// wait for per-job quiescence, assemble the result.
+func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Result, error) {
+	if opts.Mode == 0 {
+		opts.Mode = cluster.Combined
+	}
+	if opts.Mode == cluster.Combined && job.A == nil {
+		a, err := p.analysisFor(job.G)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: combined mode: %w", err)
+		}
+		job.A = a
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = p.workers
+	}
+	if opts.Fragments <= 0 {
+		opts.Fragments = opts.Workers
+	}
+	// Validate the requested decomposition width against the
+	// librarian's handle-range layout before doing any work: a wider
+	// librarian run would panic mid-evaluation when a fragment claims
+	// an out-of-range handle base. Rejecting the request up front (for
+	// any librarian run, whether or not the grammar routes a code
+	// attribute through it) turns that crash into an error.
+	if opts.Librarian && opts.Fragments > rope.MaxHandleRanges {
+		return nil, fmt.Errorf("parallel: %d fragments (from %d workers) exceed the librarian's %d handle ranges",
+			opts.Fragments, opts.Workers, rope.MaxHandleRanges)
+	}
+	start := time.Now()
+
+	// The parser side: clone and decompose, same policy as the cluster.
+	root := job.Root.Clone()
+	gran := opts.Granularity
+	if gran == 0 {
+		gran = tree.GranularityFor(root, opts.Fragments)
+	}
+	decomp := tree.Decompose(root, gran, opts.Fragments)
+
+	// Identify the code attribute of the start symbol. The
+	// decomposition is never wider than the validated Fragments
+	// request, so librarian handle ranges cannot run out here.
+	codeAttr := cluster.CodeAttr(job.G)
+	useLib := opts.Librarian && codeAttr >= 0
+
+	r := &rt{
+		job:       job,
+		opts:      opts,
+		leafOf:    make(map[int]*tree.Node),
+		lib:       p.libs.Get().(*rope.Librarian),
+		useLib:    useLib,
+		uidBase:   make(map[cluster.AttrKey]bool),
+		uidCount:  make(map[cluster.AttrKey]bool),
+		sched:     p.sched,
+		quiet:     make(chan struct{}),
+		rootAttrs: make([]ag.Value, len(job.G.Start.Attrs)),
+	}
+	for _, k := range job.UIDs {
+		r.uidBase[cluster.AttrKey{Sym: k.Sym, Attr: k.Base}] = true
+		r.uidCount[cluster.AttrKey{Sym: k.Sym, Attr: k.Count}] = true
+	}
+	for _, f := range decomp.Frags {
+		// queued is set here, while the job is still private to this
+		// goroutine: the moment the first fragment is pushed, workers
+		// may start posting to its siblings, and those reads of queued
+		// (under the mailbox lock) must not race the seeding loop.
+		fr := &frag{r: r, id: f.ID, parent: f.Parent, root: f.Root, leaves: tree.RemoteLeaves(f.Root), queued: true}
+		r.frags = append(r.frags, fr)
+		for _, leaf := range fr.leaves {
+			r.leafOf[leaf.RemoteID] = leaf
+		}
+	}
+
+	// Watch for cancellation while the job runs. The watcher only
+	// flips the job's cancelled flag; the workers do the reclamation
+	// as they pop the job's fragments.
+	stopWatch := context.AfterFunc(ctx, func() { r.cancelled.Store(true) })
+
+	// Seed every fragment round-robin across the worker deques, then
+	// wait for this job's quiescence. Workers may start stepping the
+	// first fragment before the last is pushed; pending is preset so
+	// the job cannot look quiescent early.
+	r.pending.Store(int64(len(r.frags)))
+	for _, f := range r.frags {
+		r.sched.push(f.id%p.workers, f)
+	}
+	splitDone := time.Now()
+
+	<-r.quiet
+	stopWatch()
+	evalDone := time.Now()
+
+	if int(r.doneCnt.Load()) != len(r.frags) {
+		if r.cancelled.Load() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.Canceled
+		}
+		var blocked []string
+		for _, f := range r.frags {
+			if f.ev != nil && !f.ev.Done() {
+				for _, b := range f.ev.Blocked() {
+					blocked = append(blocked, fmt.Sprintf("fragment %d: %s", f.id, b))
+				}
+			}
+		}
+		return nil, fmt.Errorf("parallel: %s on %d worker(s) deadlocked; blocked: %v",
+			opts.Mode, opts.Workers, blocked)
+	}
+
+	res := &Result{
+		RootAttrs: r.rootAttrs,
+		Frags:     decomp.NumFragments(),
+		Workers:   opts.Workers,
+		Decomp:    decomp,
+		Messages:  int(r.messages.Load()),
+	}
+	for _, f := range r.frags {
+		res.PerFrag = append(res.PerFrag, f.stats)
+		res.Stats.Add(f.stats)
+	}
+	if codeAttr >= 0 {
+		if code, ok := r.rootAttrs[codeAttr].(rope.Code); ok {
+			res.Program = rope.FlattenCode(code, r.lib.Lookup)
+			if r.useLib {
+				// The raw value may reference librarian handles the
+				// caller cannot resolve (the librarian is recycled when
+				// the job ends); expose the spliced text instead, so
+				// RootAttrs is always consumable with a nil lookup.
+				res.RootAttrs[codeAttr] = rope.Leaf(res.Program)
+			}
+		}
+	}
+	res.StoredStrings, res.StoredBytes = r.lib.Stored()
+	// The job completed cleanly, so nothing can reference its handle
+	// namespace anymore: recycle the librarian for the next job.
+	// (Cancelled and deadlocked jobs drop theirs — their librarian is
+	// garbage-collected with the rest of the job state.)
+	r.lib.Reset()
+	p.libs.Put(r.lib)
+	now := time.Now()
+	res.SplitTime = splitDone.Sub(start)
+	res.EvalTime = evalDone.Sub(splitDone)
+	res.SpliceTime = now.Sub(evalDone)
+	res.WallTime = now.Sub(start)
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdmissionOverload pins down the admission-control state machine
+// deterministically by occupying admission tokens directly: with
+// MaxInFlight slots taken and no queue, Compile fails fast with
+// ErrOverloaded; with a queue, it waits; releasing a slot admits the
+// waiter.
+func TestAdmissionOverload(t *testing.T) {
+	t.Run("no queue", func(t *testing.T) {
+		p := NewPool(PoolOptions{Workers: 1, MaxInFlight: 1, QueueDepth: -1})
+		defer p.Close()
+		p.admit <- struct{}{} // occupy the only slot
+		p.queued.Add(1)
+		err := p.acquire(context.Background())
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("acquire on a full pool with no queue returned %v, want ErrOverloaded", err)
+		}
+		<-p.admit
+		p.queued.Add(-1)
+	})
+
+	t.Run("bounded queue", func(t *testing.T) {
+		p := NewPool(PoolOptions{Workers: 1, MaxInFlight: 1, QueueDepth: 1})
+		defer p.Close()
+		p.admit <- struct{}{}
+		p.queued.Add(1)
+
+		// First waiter fits in the queue and blocks...
+		admitted := make(chan error, 1)
+		go func() {
+			err := p.acquire(context.Background())
+			if err == nil {
+				p.release()
+			}
+			admitted <- err
+		}()
+		// ...so give it a moment to enter the queue, then overflow it.
+		deadline := time.After(2 * time.Second)
+		for int(p.queued.Load()) < 2 {
+			select {
+			case <-deadline:
+				t.Fatal("waiter never queued")
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if err := p.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("second waiter returned %v, want ErrOverloaded", err)
+		}
+
+		// Releasing the held slot admits the queued waiter.
+		<-p.admit
+		p.queued.Add(-1)
+		select {
+		case err := <-admitted:
+			if err != nil {
+				t.Fatalf("queued waiter failed: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("queued waiter was never admitted")
+		}
+	})
+
+	t.Run("cancel while queued", func(t *testing.T) {
+		p := NewPool(PoolOptions{Workers: 1, MaxInFlight: 1, QueueDepth: 4})
+		defer p.Close()
+		p.admit <- struct{}{}
+		p.queued.Add(1)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := p.acquire(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+		if got := p.queued.Load(); got != 1 {
+			t.Fatalf("cancelled waiter left queued count at %d, want 1", got)
+		}
+		<-p.admit
+		p.queued.Add(-1)
+	})
+
+	t.Run("close while queued", func(t *testing.T) {
+		p := NewPool(PoolOptions{Workers: 1, MaxInFlight: 1, QueueDepth: 4})
+		p.admit <- struct{}{}
+		p.queued.Add(1)
+		rejected := make(chan error, 1)
+		go func() { rejected <- p.acquire(context.Background()) }()
+		deadline := time.After(2 * time.Second)
+		for int(p.queued.Load()) < 2 {
+			select {
+			case <-deadline:
+				t.Fatal("waiter never queued")
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		// Close must first release the slot we hold (it drains all
+		// tokens), so return it from another goroutine as Close blocks.
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			<-p.admit
+			p.queued.Add(-1)
+		}()
+		p.Close()
+		select {
+		case err := <-rejected:
+			if !errors.Is(err, ErrPoolClosed) {
+				t.Fatalf("waiter on closing pool returned %v, want ErrPoolClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("queued waiter survived Close")
+		}
+	})
+}
+
+// TestPoolDefaults checks option resolution.
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(PoolOptions{})
+	defer p.Close()
+	if p.workers <= 0 || p.maxInFlight != p.workers || p.queueDepth != DefaultQueueDepth {
+		t.Errorf("defaults: workers=%d maxInFlight=%d queueDepth=%d", p.workers, p.maxInFlight, p.queueDepth)
+	}
+	st := p.Stats()
+	if st.Workers != p.workers || st.MaxInFlight != p.maxInFlight || st.QueueDepth != DefaultQueueDepth {
+		t.Errorf("stats don't reflect configuration: %+v", st)
+	}
+}

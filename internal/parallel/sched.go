@@ -6,12 +6,16 @@ import (
 )
 
 // sched is the pool's work-stealing fragment scheduler. Every worker
-// owns a deque of runnable fragment ids: it pushes and pops at the tail
+// owns a deque of runnable fragments: it pushes and pops at the tail
 // (LIFO, so a fragment woken by a message it just posted is picked up
 // hot), and steals from the head of a random victim (FIFO, so thieves
 // take the oldest — likely largest — pending work). This replaces the
 // single shared run-queue channel of the first runtime, whose one lock
 // every post and every dispatch contended on.
+//
+// Deque items are fragment pointers, not indices: one scheduler serves
+// every job in flight on a Pool, and each fragment carries the
+// back-pointer to its own job's runtime state.
 //
 // Each deque has its own mutex: owner pushes and steals only ever
 // contend pairwise, never globally. Idle workers park on a condition
@@ -30,7 +34,7 @@ type sched struct {
 
 type deque struct {
 	mu    sync.Mutex
-	items []int32
+	items []*frag
 	// Pad to exactly 64 bytes (8 mutex + 24 slice header + 32) so
 	// neighbouring deques in the scheduler's slice never share a cache
 	// line between an owner pushing and a thief stealing.
@@ -43,12 +47,12 @@ func newSched(workers int) *sched {
 	return s
 }
 
-// push makes fragment id runnable on worker w's deque and wakes a
+// push makes fragment f runnable on worker w's deque and wakes a
 // parked worker if there is one.
-func (s *sched) push(w int, id int32) {
+func (s *sched) push(w int, f *frag) {
 	d := &s.deques[w]
 	d.mu.Lock()
-	d.items = append(d.items, id)
+	d.items = append(d.items, f)
 	d.mu.Unlock()
 	if s.idle.Load() > 0 {
 		// One new item needs at most one worker; all parked workers are
@@ -61,31 +65,32 @@ func (s *sched) push(w int, id int32) {
 }
 
 // popLocal takes the most recently pushed fragment of worker w.
-func (s *sched) popLocal(w int) (int32, bool) {
+func (s *sched) popLocal(w int) (*frag, bool) {
 	d := &s.deques[w]
 	d.mu.Lock()
 	if n := len(d.items); n > 0 {
-		id := d.items[n-1]
+		f := d.items[n-1]
+		d.items[n-1] = nil // release the job reference
 		d.items = d.items[:n-1]
 		d.mu.Unlock()
-		return id, true
+		return f, true
 	}
 	d.mu.Unlock()
-	return 0, false
+	return nil, false
 }
 
 // steal scans the other deques starting from a random victim and takes
 // the oldest item of the first non-empty one.
-func (s *sched) steal(w int, rng *uint64) (int32, bool) {
+func (s *sched) steal(w int, rng *uint64) (*frag, bool) {
 	if len(s.deques) <= 1 {
-		return 0, false
+		return nil, false
 	}
 	return s.stealFrom(w, int(xorshift(rng)%uint64(len(s.deques))))
 }
 
 // stealFrom scans every deque but w's, beginning at start, taking the
 // head (oldest item) of the first non-empty one.
-func (s *sched) stealFrom(w, start int) (int32, bool) {
+func (s *sched) stealFrom(w, start int) (*frag, bool) {
 	n := len(s.deques)
 	for k := 0; k < n; k++ {
 		v := start + k
@@ -98,50 +103,52 @@ func (s *sched) stealFrom(w, start int) (int32, bool) {
 		d := &s.deques[v]
 		d.mu.Lock()
 		if n := len(d.items); n > 0 {
-			id := d.items[0]
+			f := d.items[0]
 			// Shift down instead of advancing the slice header, so the
 			// victim's backing array keeps its full capacity (deques
-			// are a handful of ids, so the copy is trivial).
+			// are a handful of fragments, so the copy is trivial).
 			copy(d.items, d.items[1:])
+			d.items[n-1] = nil
 			d.items = d.items[:n-1]
 			d.mu.Unlock()
-			return id, true
+			return f, true
 		}
 		d.mu.Unlock()
 	}
-	return 0, false
+	return nil, false
 }
 
 // park blocks worker w until work appears anywhere or the pool shuts
-// down; it returns the claimed fragment id, or -1 on shutdown.
-func (s *sched) park(w int) int32 {
+// down; it returns the claimed fragment, or nil on shutdown.
+func (s *sched) park(w int) *frag {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.idle.Add(1)
 	defer s.idle.Add(-1)
 	for {
 		if s.done {
-			return -1
+			return nil
 		}
 		// Re-scan after advertising idleness: any push that missed our
 		// idle count is ordered before this scan (see type comment).
-		if id, ok := s.grabAny(w); ok {
-			return id
+		if f, ok := s.grabAny(w); ok {
+			return f
 		}
 		s.cond.Wait()
 	}
 }
 
 // grabAny takes any runnable fragment, preferring w's own deque.
-func (s *sched) grabAny(w int) (int32, bool) {
-	if id, ok := s.popLocal(w); ok {
-		return id, true
+func (s *sched) grabAny(w int) (*frag, bool) {
+	if f, ok := s.popLocal(w); ok {
+		return f, true
 	}
 	return s.stealFrom(w, 0)
 }
 
 // shutdown releases every parked worker; pushes after shutdown are
-// lost, which is fine because shutdown only happens at quiescence.
+// lost, which is fine because the Pool only shuts down once every
+// admitted job has drained.
 func (s *sched) shutdown() {
 	s.mu.Lock()
 	s.done = true

@@ -1,8 +1,22 @@
 package pascal
 
 import (
+	"pag/internal/ag"
 	"pag/internal/cluster"
 )
+
+// SemanticErrors extracts the compiler's semantic-error report from a
+// run's root attributes. Every frontend (pagc, pagd) must consult this
+// before trusting the generated program; keeping the attribute
+// plumbing here means a change to the error representation cannot
+// silently strand one of them.
+func SemanticErrors(rootAttrs []ag.Value) []string {
+	if len(rootAttrs) <= ProgAttrErrs {
+		return nil
+	}
+	errs, _ := rootAttrs[ProgAttrErrs].([]string)
+	return errs
+}
 
 // ClusterJob parses src and assembles the cluster job for it: grammar,
 // analysis, tree, terminal-attribute function, parse-cost estimate and

@@ -84,6 +84,18 @@ func (l *Librarian) Range(base int32) func(text string) int32 {
 	}
 }
 
+// Reset empties the store so the librarian can serve another
+// compilation, keeping the allocated map. A librarian is one handle
+// namespace: a runtime that recycles librarians across jobs must only
+// Reset between jobs, never share one librarian between concurrent
+// jobs (their per-fragment handle ranges would collide).
+func (l *Librarian) Reset() {
+	l.mu.Lock()
+	clear(l.store)
+	l.bytes = 0
+	l.mu.Unlock()
+}
+
 // Lookup returns the text stored under h (empty if absent).
 func (l *Librarian) Lookup(h int32) string {
 	l.mu.RLock()

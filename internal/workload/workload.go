@@ -54,6 +54,22 @@ func Tiny() Config {
 	return Config{Procs: 2, NestedEvery: 0, StmtsPerProc: 4, MainStmts: 5, BigProcIndex: -1, Seed: 7}
 }
 
+// ByName resolves a named workload — the vocabulary shared by the
+// pagc CLI and the pagd compile service, so the two can never diverge
+// on what "tiny" means.
+func ByName(name string) (Config, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "small":
+		return Small(), nil
+	case "course":
+		return CourseCompiler(), nil
+	default:
+		return Config{}, fmt.Errorf("unknown workload %q (tiny, small, course)", name)
+	}
+}
+
 // gen carries generation state.
 type gen struct {
 	cfg Config

@@ -149,15 +149,41 @@ type (
 	// ParallelResult reports a real parallel compilation: wall time,
 	// statistics and the produced program.
 	ParallelResult = parallel.Result
+	// Pool is a persistent compile service: one long-lived worker pool
+	// serving many concurrent compile jobs, each isolated in its own
+	// fragment set and librarian handle namespace.
+	Pool = parallel.Pool
+	// PoolOptions configures a Pool: workers, max in-flight jobs and
+	// the admission-queue depth.
+	PoolOptions = parallel.PoolOptions
+	// PoolStats is a snapshot of a Pool's activity.
+	PoolStats = parallel.PoolStats
 )
+
+// Pool failure modes (errors.Is-able).
+var (
+	// ErrPoolClosed reports a Compile on a closed Pool.
+	ErrPoolClosed = parallel.ErrPoolClosed
+	// ErrOverloaded reports a full admission queue.
+	ErrOverloaded = parallel.ErrOverloaded
+)
+
+// NewPool starts a persistent compile pool. The pool owns the worker
+// goroutines and work-stealing scheduler; many Pool.Compile calls may
+// run concurrently on it, subject to the configured admission bounds,
+// and each job's output is byte-identical to running it alone. Close
+// the pool when done.
+func NewPool(opts PoolOptions) *Pool { return parallel.NewPool(opts) }
 
 // CompileParallel runs one compilation on the real shared-memory
 // parallel runtime: the tree is decomposed exactly as in Compile, but
 // fragments are evaluated by a pool of worker goroutines on real CPU
-// cores, attribute values travel between fragments over channels, and
-// code strings are assembled by a concurrent string librarian. Given
-// opts.Workers == Options.Machines, the produced program is
-// byte-identical to Compile's.
+// cores, attribute values travel between fragments over per-fragment
+// mailboxes, and code strings are assembled by a concurrent string
+// librarian. Given opts.Workers == Options.Machines, the produced
+// program is byte-identical to Compile's. It is a one-shot Pool;
+// services compiling repeatedly should hold a NewPool and call
+// Pool.Compile.
 func CompileParallel(job Job, opts ParallelOptions) (*ParallelResult, error) {
 	return parallel.Run(job, opts)
 }
