@@ -4,8 +4,8 @@
 GO ?= go
 
 # Benchmarks tracked in the BENCH_*.json perf trajectory.
-BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse
-BENCH_BASELINE = BENCH_PR3.json
+BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache
+BENCH_BASELINE = BENCH_PR4.json
 
 .PHONY: all build test race bench bench-parallel bench-json benchstat lint fmt check figures clean
 

@@ -110,13 +110,16 @@ func BenchmarkPoolReuse(b *testing.B) {
 		opts parallel.Options
 	}{
 		// micro: a near-empty job, so ns/op is almost purely the
-		// per-job runtime setup/teardown the pool amortizes.
-		{"micro", microJob, parallel.Options{Workers: 4}},
+		// per-job runtime setup/teardown the pool amortizes. NoCache
+		// keeps this a measurement of pool reuse, not of the fragment
+		// cache (BenchmarkFragmentCache measures that).
+		{"micro", microJob, parallel.Options{Workers: 4, NoCache: true}},
 		// tiny-pascal: a small but real compilation (librarian, UID
 		// presets), the shape a compile service actually serves.
 		{"tiny-pascal", pascalJob, func() parallel.Options {
 			o := experiments.DefaultParallelOptions()
 			o.Workers = 4
+			o.NoCache = true
 			return o
 		}()},
 	}
@@ -143,6 +146,59 @@ func BenchmarkPoolReuse(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFragmentCache measures what the content-addressed fragment
+// cache buys a pool serving repeated traffic: the same tiny-pascal job
+// compiled through one pool cold (cache bypassed — every compile
+// evaluates every attribute) versus warm (every compile after the
+// first replays the recorded fragments). Warm runs still clone, hash
+// and decompose the tree, re-deposit librarian runs and splice the
+// program — the gap is pure attribute evaluation, and the warm side
+// must stay >= 2x faster for the cache to earn its complexity. The
+// hits metric reports cache hits per op (warm steady state: 1).
+func BenchmarkFragmentCache(b *testing.B) {
+	job, err := pascal.MustNew().ClusterJob(workload.Generate(workload.Tiny()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultParallelOptions()
+	opts.Workers = 4
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		pool := parallel.NewPool(parallel.PoolOptions{Workers: 4})
+		defer pool.Close()
+		o := opts
+		o.NoCache = true
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Compile(ctx, job, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		pool := parallel.NewPool(parallel.PoolOptions{Workers: 4})
+		defer pool.Close()
+		if _, err := pool.Compile(ctx, job, opts); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Compile(ctx, job, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := pool.Stats()
+		if st.CacheHits < int64(b.N) {
+			b.Fatalf("warm loop missed the cache: %+v", st)
+		}
+		b.ReportMetric(float64(st.CacheHits)/float64(b.N), "hits/op")
+	})
 }
 
 // BenchmarkT3Sequential compares the sequential evaluators (CPU time

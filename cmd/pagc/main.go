@@ -10,9 +10,11 @@
 // (-q suppresses everything but the assembly).
 //
 // Batch mode drives many files through one persistent compile pool on
-// the real shared-memory runtime instead of the simulator:
+// the real shared-memory runtime instead of the simulator; the pool's
+// content-addressed fragment cache replays duplicate sources instead
+// of re-evaluating them (-cache-bytes sizes it, negative disables):
 //
-//	pagc -batch [-workers 8] a.pas b.pas c.pas
+//	pagc -batch [-workers 8] [-cache-bytes N] a.pas b.pas c.pas
 package main
 
 import (
@@ -43,12 +45,13 @@ func main() {
 	wl := flag.String("workload", "", "compile a generated workload (tiny, small, course) instead of a file")
 	batch := flag.Bool("batch", false, "compile every file through one persistent pool on the real multicore runtime")
 	workers := flag.Int("workers", 0, "batch mode: pool worker goroutines (0 = all CPUs)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "batch mode: fragment cache budget in bytes (0 = default, <0 = disable)")
 	flag.Parse()
 
 	cfg := config{
 		machines: *machines, modeName: *mode, gran: *gran,
 		noLib: *noLib, chain: *chain, gantt: *gantt, asm: *asm, quiet: *quiet,
-		wl: *wl, batch: *batch, workers: *workers,
+		wl: *wl, batch: *batch, workers: *workers, cacheBytes: *cacheBytes,
 	}
 	if err := run(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pagc:", err)
@@ -57,17 +60,18 @@ func main() {
 }
 
 type config struct {
-	machines int
-	modeName string
-	gran     int
-	noLib    bool
-	chain    bool
-	gantt    bool
-	asm      bool
-	quiet    bool
-	wl       string
-	batch    bool
-	workers  int
+	machines   int
+	modeName   string
+	gran       int
+	noLib      bool
+	chain      bool
+	gantt      bool
+	asm        bool
+	quiet      bool
+	wl         string
+	batch      bool
+	workers    int
+	cacheBytes int64
 }
 
 func run(out io.Writer, cfg config, args []string) error {
@@ -81,6 +85,9 @@ func run(out io.Writer, cfg config, args []string) error {
 	}
 	if cfg.workers != 0 {
 		return fmt.Errorf("-workers configures the -batch pool; single-job simulator runs size with -n")
+	}
+	if cfg.cacheBytes != 0 {
+		return fmt.Errorf("-cache-bytes configures the -batch pool's fragment cache; the simulator has none")
 	}
 
 	var src string
@@ -196,7 +203,7 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 	// the batch: the point of the bounded queue is to protect a
 	// service from unbounded strangers, not to refuse work this
 	// process already holds in argv.
-	pool := parallel.NewPool(parallel.PoolOptions{Workers: cfg.workers, QueueDepth: len(args)})
+	pool := parallel.NewPool(parallel.PoolOptions{Workers: cfg.workers, QueueDepth: len(args), CacheBytes: cfg.cacheBytes})
 	defer pool.Close()
 	opts := parallel.Options{
 		Mode:        mode,

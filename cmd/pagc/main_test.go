@@ -145,3 +145,63 @@ func TestBatchManyFilesNoOverload(t *testing.T) {
 		t.Fatalf("80-file batch on a 2-worker pool: %v", err)
 	}
 }
+
+// TestCacheBytesFlagRequiresBatch: like -workers, -cache-bytes
+// configures the batch pool and must not be silently ignored on
+// simulator runs.
+func TestCacheBytesFlagRequiresBatch(t *testing.T) {
+	cfg := defaults()
+	cfg.cacheBytes = 1 << 20
+	cfg.wl = "tiny"
+	if err := run(os.Stdout, cfg, nil); err == nil || !strings.Contains(err.Error(), "-batch") {
+		t.Errorf("-cache-bytes without -batch: err = %v, want a rejection naming -batch", err)
+	}
+}
+
+// TestBatchIdenticalFilesHitCache compiles the same source many times
+// in one batch: the fragment cache replays the repeats and every
+// assembly block must still be identical (with -cache-bytes 0 default
+// budget, and with the cache disabled for the cross-check).
+func TestBatchIdenticalFilesHitCache(t *testing.T) {
+	dir := t.TempDir()
+	src := workload.Generate(workload.Tiny())
+	files := make([]string, 6)
+	for i := range files {
+		files[i] = filepath.Join(dir, fmt.Sprintf("same%d.pas", i))
+		if err := os.WriteFile(files[i], []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assemblies := func(cacheBytes int64) []string {
+		t.Helper()
+		cfg := defaults()
+		cfg.batch = true
+		cfg.workers = 2
+		cfg.asm = true
+		cfg.cacheBytes = cacheBytes
+		var out bytes.Buffer
+		if err := run(&out, cfg, files); err != nil {
+			t.Fatal(err)
+		}
+		blocks := strings.Split(out.String(), "; ==== ")[1:]
+		if len(blocks) != len(files) {
+			t.Fatalf("got %d assembly blocks, want %d", len(blocks), len(files))
+		}
+		for i := range blocks {
+			if _, rest, ok := strings.Cut(blocks[i], "====\n"); ok {
+				blocks[i] = rest
+			}
+		}
+		return blocks
+	}
+	cached := assemblies(0)
+	uncached := assemblies(-1)
+	for i := range cached {
+		if cached[i] != cached[0] {
+			t.Errorf("cached batch: file %d assembly differs from file 0", i)
+		}
+		if cached[i] != uncached[i] {
+			t.Errorf("file %d: cached assembly differs from uncached", i)
+		}
+	}
+}

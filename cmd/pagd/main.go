@@ -4,7 +4,7 @@
 // compilations are farmed out to, instead of a machine room assembled
 // per compilation.
 //
-//	pagd -addr :8642 -workers 8 -max-inflight 16 -queue 64
+//	pagd -addr :8642 -workers 8 -max-inflight 16 -queue 64 -cache-bytes 67108864
 //
 // Endpoints:
 //
@@ -17,13 +17,19 @@
 //	                {"status":"error",...}. With ?format=asm the
 //	                response is the plain VAX assembly text (errors map
 //	                to HTTP status codes), which diffs cleanly against
-//	                `pagc -q -S`.
+//	                `pagc -q -S`. With ?nocache=1 the request bypasses
+//	                the pool's fragment cache.
 //	GET  /healthz   liveness probe ("ok").
-//	GET  /stats     pool statistics as JSON (in-flight, queued, done).
+//	GET  /stats     pool statistics as JSON (in-flight, queued, done,
+//	                fragment-cache hits/misses/evictions/bytes).
 //
 // Overload degrades honestly: jobs beyond the max-in-flight bound wait
 // in the bounded admission queue, and beyond that the service answers
-// 503 instead of accumulating unbounded state.
+// 503 instead of accumulating unbounded state. Failure stays scoped to
+// the job that caused it: evaluation panics and librarian handle-range
+// exhaustion are contained per job by the pool's workers, and an HTTP
+// recovery middleware answers 500 for anything that still escapes a
+// handler, so one malformed request never takes the daemon down.
 package main
 
 import (
@@ -52,9 +58,10 @@ func main() {
 	workers := flag.Int("workers", 0, "pool worker goroutines (0 = all CPUs)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluating jobs (0 = worker count)")
 	queue := flag.Int("queue", 0, "admission queue depth beyond max-inflight (0 = default, <0 = none)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "fragment cache budget in bytes (0 = default, <0 = disable)")
 	flag.Parse()
 
-	s := newServer(parallel.PoolOptions{Workers: *workers, MaxInFlight: *maxInFlight, QueueDepth: *queue})
+	s := newServer(parallel.PoolOptions{Workers: *workers, MaxInFlight: *maxInFlight, QueueDepth: *queue, CacheBytes: *cacheBytes})
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
 
 	done := make(chan struct{})
@@ -98,7 +105,26 @@ func (s *server) routes() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.pool.Stats()) //nolint:errcheck // best-effort stats
 	})
-	return mux
+	return recoverPanics(mux)
+}
+
+// recoverPanics is the last line of defense against a handler panic
+// taking the daemon down: the panicking request answers 500 (best
+// effort — if the handler already streamed a partial body, the error
+// text lands in that stream) and every other connection keeps being
+// served. Evaluation panics never get this far — the pool's workers
+// contain them per job — so anything recovered here is a server bug
+// worth the log line.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("pagd: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // compileRequest is the wire form of one compile job.
@@ -165,6 +191,12 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	// ?nocache=1 opts this one request out of the fragment cache (for
+	// benchmarking against a cold compile, or distrust of a cached
+	// result); anything else, including absence, uses the cache.
+	if r.URL.Query().Get("nocache") == "1" {
+		opts.NoCache = true
 	}
 
 	ctx := r.Context()

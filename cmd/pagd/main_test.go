@@ -13,6 +13,7 @@ import (
 
 	"pag/internal/cluster"
 	"pag/internal/parallel"
+	"pag/internal/rope"
 	"pag/internal/workload"
 )
 
@@ -191,5 +192,107 @@ func TestManyConcurrentRequests(t *testing.T) {
 	}
 	if st.Done < n {
 		t.Errorf("stats report %d done jobs, want >= %d", st.Done, n)
+	}
+}
+
+// TestCacheWarmRequestAndStats submits the same job twice: the second
+// (warm) response must be byte-identical to the first, /stats must
+// show the fragment-cache hit, and ?nocache=1 must bypass the cache
+// while still returning the same assembly.
+func TestCacheWarmRequestAndStats(t *testing.T) {
+	_, ts := testServer(t)
+	post := func(query string) string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/compile?format=asm"+query, "application/json",
+			strings.NewReader(`{"workload":"tiny"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		return string(raw)
+	}
+	cold := post("")
+	warm := post("")
+	if warm != cold {
+		t.Errorf("warm response differs from cold (%d vs %d bytes)", len(warm), len(cold))
+	}
+	stats := func() parallel.PoolStats {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st parallel.PoolStats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.CacheEntries != 1 {
+		t.Errorf("after cold+warm: %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if nocache := post("&nocache=1"); nocache != cold {
+		t.Error("nocache response differs from cold")
+	}
+	if st := stats(); st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("nocache request touched the cache: %+v", st)
+	}
+}
+
+// TestHandleExhaustionOverHTTP is the end-to-end half of the
+// librarian range-exhaustion fix: a job that runs out of handles must
+// answer an HTTP error — the daemon used to die outright — and the
+// daemon must keep serving afterwards.
+func TestHandleExhaustionOverHTTP(t *testing.T) {
+	_, ts := testServer(t)
+	restore := rope.SetRangeCapForTesting(0)
+	resp, err := http.Post(ts.URL+"/compile?format=asm", "application/json",
+		strings.NewReader(`{"workload":"tiny","fragments":4}`))
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("exhausted job answered %d (%s), want 422", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "handle range exhausted") {
+		t.Errorf("error body %q does not name the exhaustion", raw)
+	}
+
+	resp, err = http.Post(ts.URL+"/compile?format=asm", "application/json",
+		strings.NewReader(`{"workload":"tiny","fragments":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon unhealthy after exhausted job: status %d", resp.StatusCode)
+	}
+}
+
+// TestRecoveryMiddleware checks the HTTP last line of defense: a
+// panicking handler answers 500 instead of killing the process.
+func TestRecoveryMiddleware(t *testing.T) {
+	h := recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/compile", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "handler bug") {
+		t.Errorf("body %q does not carry the panic", rec.Body.String())
 	}
 }

@@ -44,24 +44,22 @@ func (c *run) evaluator(p *netsim.Proc, idx int) {
 		leaves[leaf.RemoteID] = leaf
 	}
 
-	// HandleBase bounds-checks the range; only take it when the
+	// The allocator bounds-checks the machine's private handle range
+	// (shared cap with rope.Librarian.Range); only take it when the
 	// librarian is actually in play (Run has validated the width then).
-	var nextHandle, stored int32
+	var alloc func() (int32, error)
 	if c.useLib {
-		nextHandle = rope.HandleBase(idx)
+		alloc = rope.HandleAllocator(idx)
 	}
-	store := func(text string) int32 {
-		if stored >= rope.RangeCap {
-			// Same guard as rope.Librarian.Range: fail rather than walk
-			// into the neighbouring machine's handle range silently.
-			c.fail(fmt.Errorf("cluster: evaluator %d exhausted its librarian handle range", idx))
-			return 0
+	store := func(text string) (int32, error) {
+		h, err := alloc()
+		if err != nil {
+			// Out of private handles: fail the job rather than walk into
+			// the neighbouring machine's handle range silently.
+			return 0, fmt.Errorf("cluster: evaluator %d: %w", idx, err)
 		}
-		stored++
-		nextHandle++
-		h := nextHandle
 		c.send(p, c.librarian, "store", storeMsg{handle: h, text: text}, len(text)+attrMsgHeader)
-		return h
+		return h, nil
 	}
 
 	// encodeAttr converts an outgoing attribute value, depositing code

@@ -1,0 +1,232 @@
+package parallel
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"pag/internal/ag"
+	"pag/internal/cluster"
+	"pag/internal/rope"
+	"pag/internal/tree"
+)
+
+// The fragment cache makes fragments the unit of memoization the
+// paper's decomposition makes natural: a compilation splits into
+// subtrees evaluated independently, so a pool serving heavy repeated
+// traffic (resubmitted sources, shared workloads) can skip attribute
+// evaluation entirely and replay each fragment's recorded outputs
+// instead.
+//
+// Soundness dictates the key. A fragment's outputs are NOT a function
+// of its own subtree alone: its inherited inputs (the global symbol
+// table above all) depend on the entire program, and its remote leaves
+// stand for children whose synthesized outputs depend on THEIR
+// content. The content address therefore covers everything that
+// determines every cross-fragment value in the job:
+//
+//   - the grammar (pointer identity — the rules live on it),
+//   - the canonical structural hash of the WHOLE job tree (tree.Hash
+//     before decomposition) — attribute rules being pure, it
+//     determines every attribute value in the job,
+//   - the combined hash of every fragment's post-cut subtree (symbols,
+//     tokens, remote-leaf shape, in fragment order), pinning the
+//     decomposition the recording was made under,
+//   - every option that shapes the decomposition or the values
+//     (effective fragment width and granularity, mode, librarian, UID
+//     preset, priority).
+//
+// One entry records one whole job, as per-fragment recordings that
+// replay through the same actor machinery cold fragments use — hits
+// evaluate nothing but still run fragment-parallel. The recording is
+// all-of-the-job-or-nothing deliberately: fragments exchange librarian
+// descriptors, and handle values depend on each fragment's store
+// order, which concurrency does not make deterministic across runs.
+// Within ONE recorded run they are consistent, and replay re-deposits
+// each fragment's own text runs in recorded order under the replaying
+// job's private handle range for that fragment — reproducing exactly
+// the handle→text mapping the recording was made with, so shared
+// descriptor values stay valid and cross-job handle isolation is
+// preserved. Mixing recordings of different runs could pair a
+// descriptor with another run's handle numbering, so partial replay is
+// not offered.
+type cacheKey struct {
+	g                                *ag.Grammar
+	jobHash                          tree.Digest // whole job tree, pre-decomposition
+	fragsHash                        tree.Digest // every post-cut fragment subtree, in order
+	frags                            int         // decomposition width the digests describe
+	width                            int         // effective fragment cap (decomposition input)
+	gran                             int         // effective granularity (decomposition input)
+	mode                             cluster.Mode
+	librarian, uidPreset, noPriority bool
+}
+
+// cachedMsg is one recorded outbound attribute message of a fragment:
+// to the root of child fragment target (toRoot) or to the remote leaf
+// standing for this fragment in its parent. The value is shared as-is
+// across jobs — attribute values are immutable by the purity
+// requirement on semantic rules, and descriptor values stay valid
+// because replay reproduces every handle they reference.
+type cachedMsg struct {
+	target int
+	toRoot bool
+	attr   int
+	val    ag.Value
+}
+
+// fragRecord is one fragment's recorded outcome: the text runs it
+// deposited at the librarian (in deposit order — replay reproduces
+// their handles exactly) and its outbound messages (in send order).
+type fragRecord struct {
+	ownRuns []string
+	msgs    []cachedMsg
+}
+
+// cacheEntry is one job's complete recording: every fragment's record
+// plus the synthesized root attributes (librarian-free by the time
+// they are recorded: the code attribute has been spliced to text).
+type cacheEntry struct {
+	key       cacheKey
+	frags     []fragRecord
+	rootAttrs []ag.Value
+	bytes     int64
+}
+
+// memSized is implemented by attribute value types that can estimate
+// their own retained memory (symtab.Table above all — the global
+// symbol table is the dominant cross-fragment value, and an entry
+// retaining one per message must be charged for it or CacheBytes
+// stops being a real memory bound).
+type memSized interface{ MemBytes() int }
+
+// valSize estimates the retained footprint of one shared attribute
+// value. The same value reaches many messages (the global symbol
+// table is sent to every fragment), so measured values are memoized in
+// seen by identity — one walk per distinct value, and a value's weight
+// is charged once per entry rather than once per message. Structure
+// shared between *distinct* values (persistent symbol-table versions,
+// rope subtrees) is still charged to each, erring on the side of
+// overcounting — a cache that evicts early beats one that quietly
+// outgrows its budget. Only the measured branches touch seen: their
+// values are pointer-shaped and safe as map keys, while an arbitrary
+// default-branch value need not be comparable.
+func valSize(v ag.Value, seen map[ag.Value]bool) int64 {
+	const valueCost = 64
+	switch x := v.(type) {
+	case memSized:
+		if seen[v] {
+			return valueCost
+		}
+		seen[v] = true
+		return valueCost + int64(x.MemBytes())
+	case rope.Code:
+		if seen[v] {
+			return valueCost
+		}
+		seen[v] = true
+		return valueCost + int64(x.CodeLen())
+	default:
+		return valueCost
+	}
+}
+
+// size estimates the entry's memory footprint for the byte budget:
+// deposited text and retained attribute values dominate.
+func (e *cacheEntry) size() int64 {
+	const entryCost, msgCost, runCost = 512, 64, 32
+	seen := make(map[ag.Value]bool)
+	s := int64(entryCost)
+	for i := range e.frags {
+		f := &e.frags[i]
+		s += entryCost
+		for _, run := range f.ownRuns {
+			s += runCost + int64(len(run))
+		}
+		for j := range f.msgs {
+			s += msgCost + valSize(f.msgs[j].val, seen)
+		}
+	}
+	for _, v := range e.rootAttrs {
+		s += valSize(v, seen)
+	}
+	return s
+}
+
+// fragCache is the pool's bounded, content-addressed fragment cache: a
+// mutex-guarded LRU over whole-job recordings with a byte budget. One
+// lookup happens per job (nowhere near the per-message hot path), so a
+// single mutex is deliberate.
+type fragCache struct {
+	max int64
+
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element
+	lru     *list.List // front = oldest, back = most recently used
+
+	bytes   atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicted atomic.Int64
+}
+
+func newFragCache(maxBytes int64) *fragCache {
+	return &fragCache{
+		max:     maxBytes,
+		entries: make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the entry for k, refreshing its recency. Entries are
+// immutable after put, so the caller may use the result without the
+// cache lock (an eviction racing a replay just unlinks the entry; the
+// job keeps its reference).
+func (c *fragCache) get(k cacheKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToBack(el)
+	e := el.Value.(*cacheEntry)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return e, true
+}
+
+// put publishes an entry for k (replacing any previous one — two
+// concurrent identical jobs record interchangeable outcomes, so last
+// write wins harmlessly) and evicts least-recently-used entries until
+// the byte budget holds again.
+func (c *fragCache) put(k cacheKey, e *cacheEntry) {
+	e.key = k
+	e.bytes = e.size()
+	c.mu.Lock()
+	if old, ok := c.entries[k]; ok {
+		c.bytes.Add(-old.Value.(*cacheEntry).bytes)
+		c.lru.Remove(old)
+	}
+	c.entries[k] = c.lru.PushBack(e)
+	c.bytes.Add(e.bytes)
+	for c.bytes.Load() > c.max {
+		front := c.lru.Front()
+		if front == nil {
+			break
+		}
+		victim := front.Value.(*cacheEntry)
+		c.lru.Remove(front)
+		delete(c.entries, victim.key)
+		c.bytes.Add(-victim.bytes)
+		c.evicted.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// len returns the current entry count.
+func (c *fragCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"testing"
+
+	"pag/internal/tree"
+)
+
+func testKey(i int) cacheKey { return cacheKey{jobHash: tree.Digest{byte(i)}, frags: 1} }
+
+func testEntry(runBytes int) *cacheEntry {
+	runs := []string{string(make([]byte, runBytes))}
+	return &cacheEntry{frags: []fragRecord{{ownRuns: runs}}}
+}
+
+// TestFragCacheLRU pins the eviction mechanics: the byte budget holds,
+// eviction is least-recently-used, and a get refreshes recency.
+func TestFragCacheLRU(t *testing.T) {
+	// Entry overhead is 2*entryCost(512) + runCost(32) + run bytes; a
+	// budget of three 2000-byte entries fits two 900-byte-run entries
+	// but not three.
+	c := newFragCache(2 * 2000)
+	a, b, d := testEntry(900), testEntry(900), testEntry(900)
+	c.put(testKey(1), a)
+	c.put(testKey(2), b)
+	if _, ok := c.get(testKey(1)); !ok { // refresh a: 2 becomes LRU
+		t.Fatal("entry 1 missing before any eviction")
+	}
+	c.put(testKey(3), d)
+	if _, ok := c.get(testKey(2)); ok {
+		t.Error("LRU entry 2 survived eviction")
+	}
+	if _, ok := c.get(testKey(1)); !ok {
+		t.Error("recently used entry 1 was evicted")
+	}
+	if _, ok := c.get(testKey(3)); !ok {
+		t.Error("fresh entry 3 was evicted")
+	}
+	if got := c.evicted.Load(); got != 1 {
+		t.Errorf("evicted = %d, want 1", got)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	if c.bytes.Load() > c.max {
+		t.Errorf("bytes %d exceed budget %d", c.bytes.Load(), c.max)
+	}
+
+	// Replacing a key must not double-count bytes or leak list nodes.
+	before := c.bytes.Load()
+	c.put(testKey(3), testEntry(900))
+	if c.len() != 2 || c.bytes.Load() != before {
+		t.Errorf("replacement changed accounting: len=%d bytes=%d (was %d)", c.len(), c.bytes.Load(), before)
+	}
+
+	// An entry larger than the whole budget is evicted immediately but
+	// never corrupts the books.
+	c.put(testKey(4), testEntry(10_000))
+	if c.bytes.Load() > c.max {
+		t.Errorf("oversized entry left bytes at %d over budget %d", c.bytes.Load(), c.max)
+	}
+}
+
+// TestFragCacheStatsCounters checks hit/miss accounting.
+func TestFragCacheStatsCounters(t *testing.T) {
+	c := newFragCache(1 << 20)
+	if _, ok := c.get(testKey(9)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put(testKey(9), testEntry(10))
+	if _, ok := c.get(testKey(9)); !ok {
+		t.Fatal("miss after put")
+	}
+	if c.hits.Load() != 1 || c.misses.Load() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.hits.Load(), c.misses.Load())
+	}
+}

@@ -43,6 +43,7 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,11 @@ type Options struct {
 	UIDPreset bool
 	// NoPriority disables priority attributes.
 	NoPriority bool
+	// NoCache bypasses the pool's content-addressed fragment cache for
+	// this job: nothing is looked up and nothing is recorded. Jobs on a
+	// pool whose cache is disabled (PoolOptions.CacheBytes < 0) behave
+	// as if NoCache were always set.
+	NoCache bool
 }
 
 // Result is the outcome of a parallel compilation.
@@ -166,8 +172,16 @@ type frag struct {
 	out   []outBatch
 	prio  [1]message             // scratch for immediate (priority) sends
 	ev    eval.FragmentEvaluator // created on first step, in a worker
-	store func(text string) int32
+	store func(text string) (int32, error)
 	stats eval.Stats
+
+	// Fragment-cache state, fixed at job setup and then touched only by
+	// the driving worker: on a job-level cache hit, entry holds this
+	// fragment's recording to replay; on a recording (miss) job, rec
+	// accumulates the fragment's outputs for publication when the whole
+	// job completes.
+	entry *fragRecord
+	rec   *fragRecord
 }
 
 // rt is the state of one job in flight on a Pool: the job's private
@@ -178,8 +192,11 @@ type rt struct {
 	job  cluster.Job
 	opts Options
 
-	frags    []*frag
-	leafOf   map[int]*tree.Node // child fragment id -> remote leaf in parent
+	frags  []*frag
+	leafOf map[int]*tree.Node // child fragment id -> remote leaf in parent
+	// hit is the job-level cache entry this job replays, nil on a cold
+	// run; each fragment's share of it is wired up as frag.entry.
+	hit      *cacheEntry
 	lib      *rope.Librarian
 	useLib   bool
 	uidBase  map[cluster.AttrKey]bool
@@ -191,6 +208,11 @@ type rt struct {
 	// cancelled flips once when the job's context ends; workers then
 	// discard the job's fragments instead of evaluating them.
 	cancelled atomic.Bool
+	// failMu/failErr hold the first evaluation failure (a recovered
+	// panic or handle-range exhaustion); fail() also flips cancelled so
+	// the job's remaining fragments are reclaimed, not evaluated.
+	failMu  sync.Mutex
+	failErr error
 	// quiet closes at job quiescence: no fragment queued or running
 	// (all done, cancelled, or deadlock).
 	quiet    chan struct{}
@@ -213,7 +235,11 @@ func Run(job cluster.Job, opts Options) (*Result, error) {
 	if opts.Mode == cluster.Combined && job.A == nil {
 		return nil, fmt.Errorf("parallel: combined mode requires an OAG analysis")
 	}
-	p := NewPool(PoolOptions{Workers: opts.Workers, MaxInFlight: 1})
+	// A one-shot pool serves exactly one job, so its fragment cache
+	// could never hit: disable it and skip the hashing/recording work
+	// (Run stays a pure measurement of evaluation for the benchmarks
+	// and parity tests).
+	p := NewPool(PoolOptions{Workers: opts.Workers, MaxInFlight: 1, CacheBytes: -1})
 	defer p.Close()
 	return p.Compile(context.Background(), job, opts)
 }
@@ -224,6 +250,15 @@ func Run(job cluster.Job, opts Options) (*Result, error) {
 // buffered per destination and delivered in one batch when f's
 // evaluation pauses.
 func (r *rt) send(f *frag, target *frag, m message, priority bool) {
+	if f.rec != nil {
+		// Record the value exactly as shipped (post-outbound
+		// conversion); node pointers are job-private, so remember the
+		// destination symbolically instead (child root vs own leaf in
+		// the parent).
+		f.rec.msgs = append(f.rec.msgs, cachedMsg{
+			target: target.id, toRoot: m.node == target.root, attr: m.attr, val: m.val,
+		})
+	}
 	if priority {
 		// postBatch copies the batch into the inbox, so the scratch
 		// array is free again when it returns (f is single-threaded).
@@ -286,24 +321,77 @@ func (r *rt) postBatch(from *frag, target *frag, msgs []message) {
 // discarded instead: marked done (so pending messages drop) without
 // touching the evaluator.
 func (r *rt) step(w int, f *frag) {
-	if r.cancelled.Load() {
-		f.mu.Lock()
-		f.done = true
-		f.mu.Unlock()
-	} else {
-		r.run(w, f)
-	}
+	r.stepGuarded(w, f)
 	if r.pending.Add(-1) == 0 {
 		// Nothing of this job queued or running, no messages in
 		// flight: the job is quiescent (all fragments done, cancelled,
-		// or deadlock). The pool's workers move on to other jobs.
+		// failed, or deadlock). The pool's workers move on to other jobs.
 		close(r.quiet)
 	}
 }
 
-// run is the evaluation body of step.
+// jobPanic carries an error out of fragment evaluation through
+// panic/recover: semantic-rule hooks have no error returns, so deep
+// failures (librarian handle-range exhaustion above all) unwind to the
+// worker's recovery point, which files them as a clean job failure.
+type jobPanic struct{ err error }
+
+// stepGuarded is step's body with panic containment: a panicking
+// semantic rule (or any other evaluation panic) fails the one job that
+// raised it — the fragment is marked done so pending messages drop,
+// the job's remaining fragments are reclaimed via the cancelled flag —
+// while the worker goroutine survives to keep serving every other job
+// on the pool.
+func (r *rt) stepGuarded(w int, f *frag) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if jp, ok := p.(jobPanic); ok {
+			r.fail(jp.err)
+		} else {
+			r.fail(fmt.Errorf("parallel: fragment %d: evaluation panicked: %v\n%s", f.id, p, debug.Stack()))
+		}
+		f.mu.Lock()
+		f.done = true
+		f.mu.Unlock()
+	}()
+	if r.cancelled.Load() {
+		f.mu.Lock()
+		f.done = true
+		f.mu.Unlock()
+		return
+	}
+	r.run(w, f)
+}
+
+// fail files the job's first failure and cancels the rest of the job.
+func (r *rt) fail(err error) {
+	r.failMu.Lock()
+	if r.failErr == nil {
+		r.failErr = err
+	}
+	r.failMu.Unlock()
+	r.cancelled.Store(true)
+}
+
+// failure returns the job's failure, if any.
+func (r *rt) failure() error {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return r.failErr
+}
+
+// run is the evaluation body of step. A fragment of a cache-hit job
+// replays its recorded outputs on first entry and completes without
+// ever building an evaluator.
 func (r *rt) run(w int, f *frag) {
 	f.curWorker = w
+	if f.entry != nil {
+		r.replay(f)
+		return
+	}
 	if f.ev == nil {
 		r.initFrag(f)
 	}
@@ -349,6 +437,20 @@ func (r *rt) initFrag(f *frag) {
 	// decomposition width when the librarian is in play).
 	if r.useLib {
 		f.store = r.lib.Range(rope.HandleBase(f.id))
+		if f.rec != nil {
+			// Recording: remember every deposited run in deposit order,
+			// so replay can reproduce this fragment's exact handle→text
+			// mapping (descriptor values recorded elsewhere in the job
+			// reference these handles by value).
+			base := f.store
+			f.store = func(text string) (int32, error) {
+				h, err := base(text)
+				if err == nil {
+					f.rec.ownRuns = append(f.rec.ownRuns, text)
+				}
+				return h, err
+			}
+		}
 	}
 	hooks := eval.Hooks{
 		NoPriority: r.opts.NoPriority,
@@ -403,7 +505,9 @@ func (r *rt) initFrag(f *frag) {
 // outbound prepares an attribute value for another fragment. Code
 // attributes are converted to librarian descriptors when the librarian
 // is enabled; everything else is shared directly (attribute values are
-// immutable).
+// immutable). Handle-range exhaustion unwinds as a jobPanic: the
+// worker's recovery point fails this one job and the pool keeps
+// serving the rest.
 func (r *rt) outbound(f *frag, sym *ag.Symbol, attr int, v ag.Value) ag.Value {
 	if !r.useLib || v == nil {
 		return v
@@ -415,5 +519,45 @@ func (r *rt) outbound(f *frag, sym *ag.Symbol, attr int, v ag.Value) ag.Value {
 	if !ok {
 		return v
 	}
-	return rope.ToDescriptor(code, f.store)
+	d, err := rope.ToDescriptor(code, f.store)
+	if err != nil {
+		panic(jobPanic{fmt.Errorf("parallel: fragment %d: %w", f.id, err)})
+	}
+	return d
+}
+
+// replay completes fragment f from its recording without building an
+// evaluator. First it re-deposits the text runs the recorded run
+// stored, in recorded order, under THIS job's private handle range for
+// f.id — reproducing exactly the handle→text mapping the recording's
+// descriptor values reference, inside this job's own librarian (so
+// handles never migrate between jobs). Then it re-posts the recorded
+// outbound messages through the normal mailbox machinery, and the root
+// fragment restores the job's root attributes.
+func (r *rt) replay(f *frag) {
+	if r.useLib && len(f.entry.ownRuns) > 0 {
+		store := r.lib.Range(rope.HandleBase(f.id))
+		for _, run := range f.entry.ownRuns {
+			if _, err := store(run); err != nil {
+				panic(jobPanic{fmt.Errorf("parallel: fragment %d: replaying cached code: %w", f.id, err)})
+			}
+		}
+	}
+	for i := range f.entry.msgs {
+		m := &f.entry.msgs[i]
+		target := r.frags[m.target]
+		node := r.leafOf[f.id]
+		if m.toRoot {
+			node = target.root
+		}
+		r.send(f, target, message{node: node, attr: m.attr, val: m.val}, false)
+	}
+	r.flush(f)
+	if f.id == 0 {
+		copy(r.rootAttrs, r.hit.rootAttrs)
+	}
+	f.mu.Lock()
+	f.done = true
+	f.mu.Unlock()
+	r.doneCnt.Add(1)
 }

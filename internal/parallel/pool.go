@@ -29,11 +29,22 @@ type PoolOptions struct {
 	// unbounded state. 0 uses DefaultQueueDepth; negative disables
 	// queueing entirely (busy pool = immediate ErrOverloaded).
 	QueueDepth int
+	// CacheBytes bounds the content-addressed fragment cache, the
+	// memoization layer that lets the pool skip attribute evaluation
+	// for subtrees it has compiled before (identical resubmitted
+	// sources above all). 0 uses DefaultCacheBytes; negative disables
+	// caching entirely. Per-job, Options.NoCache opts a single compile
+	// out.
+	CacheBytes int64
 }
 
 // DefaultQueueDepth is the admission-queue bound used when
 // PoolOptions.QueueDepth is zero.
 const DefaultQueueDepth = 64
+
+// DefaultCacheBytes is the fragment-cache budget used when
+// PoolOptions.CacheBytes is zero.
+const DefaultCacheBytes = 64 << 20
 
 // Pool failure modes, distinguishable with errors.Is.
 var (
@@ -95,12 +106,22 @@ type Pool struct {
 	// stops allocating librarian stores in steady state.
 	libs sync.Pool
 
+	// cache is the content-addressed fragment cache (nil when
+	// disabled): completed fragment evaluations are recorded under a
+	// structural content address and replayed for later jobs with
+	// identical content, see cache.go.
+	cache *fragCache
+
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
 }
 
-// PoolStats is a point-in-time snapshot of a Pool's activity.
+// PoolStats is a point-in-time snapshot of a Pool's activity. The
+// Cache* fields report the fragment cache (all zero when disabled):
+// hits and misses count whole-job lookups (one per cached-eligible
+// Compile), evictions count recordings dropped to hold the byte
+// budget.
 type PoolStats struct {
 	Workers     int   `json:"workers"`
 	MaxInFlight int   `json:"max_in_flight"`
@@ -110,6 +131,13 @@ type PoolStats struct {
 	Done        int64 `json:"jobs_done"`
 	Failed      int64 `json:"jobs_failed"`
 	Cancelled   int64 `json:"jobs_cancelled"`
+
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheEvicted  int64 `json:"cache_evicted"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheBytes    int64 `json:"cache_bytes"`
+	CacheCapBytes int64 `json:"cache_cap_bytes"`
 }
 
 // NewPool starts the worker goroutines and returns the ready pool.
@@ -127,6 +155,13 @@ func NewPool(opts PoolOptions) *Pool {
 	case depth < 0:
 		depth = 0
 	}
+	cacheBytes := opts.CacheBytes
+	switch {
+	case cacheBytes == 0:
+		cacheBytes = DefaultCacheBytes
+	case cacheBytes < 0:
+		cacheBytes = 0
+	}
 	p := &Pool{
 		workers:     opts.Workers,
 		maxInFlight: opts.MaxInFlight,
@@ -134,6 +169,9 @@ func NewPool(opts PoolOptions) *Pool {
 		sched:       newSched(opts.Workers),
 		admit:       make(chan struct{}, opts.MaxInFlight),
 		closeCh:     make(chan struct{}),
+	}
+	if cacheBytes > 0 {
+		p.cache = newFragCache(cacheBytes)
 	}
 	p.libs.New = func() any { return rope.NewLibrarian() }
 	for w := 0; w < p.workers; w++ {
@@ -194,7 +232,7 @@ func (p *Pool) Stats() PoolStats {
 	if waiting < 0 {
 		waiting = 0
 	}
-	return PoolStats{
+	st := PoolStats{
 		Workers:     p.workers,
 		MaxInFlight: p.maxInFlight,
 		QueueDepth:  p.queueDepth,
@@ -204,6 +242,15 @@ func (p *Pool) Stats() PoolStats {
 		Failed:      p.jobsFailed.Load(),
 		Cancelled:   p.jobsCancelled.Load(),
 	}
+	if c := p.cache; c != nil {
+		st.CacheHits = c.hits.Load()
+		st.CacheMisses = c.misses.Load()
+		st.CacheEvicted = c.evicted.Load()
+		st.CacheEntries = c.len()
+		st.CacheBytes = c.bytes.Load()
+		st.CacheCapBytes = c.max
+	}
+	return st
 }
 
 // Workers returns the pool's worker count (the default decomposition
@@ -328,6 +375,16 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	}
 	start := time.Now()
 
+	// Content-address the job before decomposition: the whole-tree hash
+	// is what makes per-fragment cache entries sound (every value a
+	// fragment receives from its neighbours is, by rule purity, a
+	// function of the whole tree plus the options in the key).
+	useCache := p.cache != nil && !opts.NoCache
+	var jobHash tree.Digest
+	if useCache {
+		jobHash = tree.Hash(job.Root)
+	}
+
 	// The parser side: clone and decompose, same policy as the cluster.
 	root := job.Root.Clone()
 	gran := opts.Granularity
@@ -358,12 +415,41 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 		r.uidBase[cluster.AttrKey{Sym: k.Sym, Attr: k.Base}] = true
 		r.uidCount[cluster.AttrKey{Sym: k.Sym, Attr: k.Count}] = true
 	}
+	// Complete the content address now that the decomposition is known,
+	// and decide hit or miss for the whole job: either every fragment
+	// replays from one internally consistent recording, or every
+	// fragment evaluates and records (see cache.go for why mixing the
+	// two is unsound).
+	var key cacheKey
+	if useCache {
+		key = cacheKey{
+			g:          job.G,
+			jobHash:    jobHash,
+			fragsHash:  decomp.Hash(),
+			frags:      decomp.NumFragments(),
+			width:      opts.Fragments,
+			gran:       gran,
+			mode:       opts.Mode,
+			librarian:  opts.Librarian,
+			uidPreset:  opts.UIDPreset,
+			noPriority: opts.NoPriority,
+		}
+		if e, ok := p.cache.get(key); ok && len(e.frags) == decomp.NumFragments() {
+			r.hit = e
+		}
+	}
 	for _, f := range decomp.Frags {
 		// queued is set here, while the job is still private to this
 		// goroutine: the moment the first fragment is pushed, workers
 		// may start posting to its siblings, and those reads of queued
 		// (under the mailbox lock) must not race the seeding loop.
 		fr := &frag{r: r, id: f.ID, parent: f.Parent, root: f.Root, leaves: tree.RemoteLeaves(f.Root), queued: true}
+		switch {
+		case r.hit != nil:
+			fr.entry = &r.hit.frags[f.ID]
+		case useCache:
+			fr.rec = &fragRecord{}
+		}
 		r.frags = append(r.frags, fr)
 		for _, leaf := range fr.leaves {
 			r.leafOf[leaf.RemoteID] = leaf
@@ -390,6 +476,13 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	evalDone := time.Now()
 
 	if int(r.doneCnt.Load()) != len(r.frags) {
+		// An evaluation failure (recovered panic, handle-range
+		// exhaustion) takes precedence: fail() also flips cancelled to
+		// reclaim the job's remaining fragments, and the failure — not
+		// the cancellation it triggered — is the job's outcome.
+		if err := r.failure(); err != nil {
+			return nil, err
+		}
 		if r.cancelled.Load() {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -432,6 +525,21 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 		}
 	}
 	res.StoredStrings, res.StoredBytes = r.lib.Stored()
+	// Publish the recording of a clean cold run. By this point the code
+	// attribute has been spliced to plain text, so the recorded root
+	// attributes are librarian-free and safe to share across jobs; the
+	// per-fragment records carry everything else (deposited runs and
+	// outbound messages).
+	if useCache && r.hit == nil {
+		entry := &cacheEntry{
+			frags:     make([]fragRecord, len(r.frags)),
+			rootAttrs: append([]ag.Value(nil), r.rootAttrs...),
+		}
+		for i, f := range r.frags {
+			entry.frags[i] = *f.rec
+		}
+		p.cache.put(key, entry)
+	}
 	// The job completed cleanly, so nothing can reference its handle
 	// namespace anymore: recycle the librarian for the next job.
 	// (Cancelled and deadlocked jobs drop theirs — their librarian is

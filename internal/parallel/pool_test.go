@@ -145,8 +145,11 @@ func TestPoolSharesAnalysisAcrossJobs(t *testing.T) {
 // error and releases its admission slot, and the pool keeps serving
 // fresh jobs with identical output afterwards.
 func TestPoolCancellation(t *testing.T) {
+	// NoCache keeps every round a full evaluation: with warm cache hits
+	// the mid-flight cancellation points would mostly land after the
+	// near-instant replay finished, gutting the test's coverage.
 	job := pascalJob(t, workload.Small())
-	opts := parallel.Options{Fragments: 8, Librarian: true, UIDPreset: true}
+	opts := parallel.Options{Fragments: 8, Librarian: true, UIDPreset: true, NoCache: true}
 	pool := parallel.NewPool(parallel.PoolOptions{Workers: 2, MaxInFlight: 2})
 	defer pool.Close()
 

@@ -108,8 +108,9 @@ func FlattenCode(c Code, lookup func(h int32) string) string {
 // interface and provides the store/fetch plumbing.
 type ShipCodec interface {
 	// EncodeShip converts a Code value for transmission. store deposits
-	// one run of local text at the librarian and returns its handle.
-	EncodeShip(store func(text string) int32, v any) ([]byte, error)
+	// one run of local text at the librarian and returns its handle, or
+	// an error when the caller's handle range is exhausted.
+	EncodeShip(store func(text string) (int32, error), v any) ([]byte, error)
 	// DecodeShip reconstructs the Code value (as a Descriptor).
 	DecodeShip(data []byte) (any, error)
 }
@@ -158,12 +159,15 @@ func (c CodeCodec) Decode(data []byte) (any, error) {
 // EncodeShip implements ShipCodec: maximal local text runs are stored
 // at the librarian (via ToDescriptor, the one copy of the run
 // aggregation logic); the result encodes the ordered handle list.
-func (c CodeCodec) EncodeShip(store func(text string) int32, v any) ([]byte, error) {
+func (c CodeCodec) EncodeShip(store func(text string) (int32, error), v any) ([]byte, error) {
 	code, err := asCode(v)
 	if err != nil {
 		return nil, err
 	}
-	d := ToDescriptor(code, store)
+	d, err := ToDescriptor(code, store)
+	if err != nil {
+		return nil, err
+	}
 	var buf []byte
 	buf = binary.AppendUvarint(buf, uint64(d.NumHandles()))
 	d.walk(nil, func(h int32, n int) {

@@ -1,9 +1,11 @@
 package rope
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Librarian is a shared-memory, thread-safe string librarian: the §4.3
@@ -49,9 +51,48 @@ const (
 	RangeCap = 1<<HandleRangeBits - 1
 )
 
+// ErrRangeExhausted reports that one evaluator's private handle range
+// ran out of handles. Store paths return it (wrapped) instead of
+// walking into the neighbouring range and corrupting its strings
+// silently; runtimes turn it into a per-job failure.
+var ErrRangeExhausted = errors.New("rope: handle range exhausted")
+
 // rangeCap is RangeCap as a variable, only so tests can lower it (the
-// real value is unreachable in practice, see above).
-var rangeCap = int32(RangeCap)
+// real value is unreachable in practice, see above). Atomic so a test
+// restoring the cap never races a worker goroutine reading it.
+var rangeCap atomic.Int32
+
+func init() { rangeCap.Store(RangeCap) }
+
+// SetRangeCapForTesting lowers the shared per-range handle cap and
+// returns a restore function. It exists only so exhaustion tests don't
+// need a million stores; production code must never call it.
+func SetRangeCapForTesting(n int32) (restore func()) {
+	old := rangeCap.Swap(n)
+	return func() { rangeCap.Store(old) }
+}
+
+// HandleAllocator hands out handles from evaluator id's private range:
+// base+1, base+2, ... The returned function must be used from a single
+// goroutine; it fails with a wrapped ErrRangeExhausted once the range
+// is spent. Every store path (shared-memory librarian, simulated
+// cluster machines) allocates through this one cap check.
+func HandleAllocator(id int) func() (int32, error) {
+	return allocatorFrom(HandleBase(id))
+}
+
+// allocatorFrom is the single copy of the increment-and-cap logic that
+// HandleAllocator and Librarian.Range both allocate through.
+func allocatorFrom(base int32) func() (int32, error) {
+	next := base
+	return func() (int32, error) {
+		if next-base >= rangeCap.Load() {
+			return 0, fmt.Errorf("%w: range starting at %d is out of handles", ErrRangeExhausted, base)
+		}
+		next++
+		return next, nil
+	}
+}
 
 // HandleBase returns the first handle of evaluator id's private range.
 // id must be in [0, MaxHandleRanges).
@@ -66,21 +107,23 @@ func HandleBase(id int) int32 {
 // base+1, base+2, ... — one private handle range per evaluator, exactly
 // like the per-machine handle ranges of the simulated cluster. The
 // returned function must be used from a single goroutine; distinct
-// ranges may store concurrently.
-func (l *Librarian) Range(base int32) func(text string) int32 {
-	next := base
-	return func(text string) int32 {
-		if next-base >= rangeCap {
-			// Out of private handles: fail loudly rather than walk into
-			// the neighbouring range and corrupt its strings silently.
-			panic(fmt.Sprintf("rope: handle range starting at %d exhausted", base))
+// ranges may store concurrently. Once the range is spent the store
+// function fails with a wrapped ErrRangeExhausted — reporting the
+// error (instead of the panic this used to be) lets a runtime fail the
+// one job that ran out rather than the whole process, and never walks
+// into the neighbouring range to corrupt its strings silently.
+func (l *Librarian) Range(base int32) func(text string) (int32, error) {
+	alloc := allocatorFrom(base)
+	return func(text string) (int32, error) {
+		h, err := alloc()
+		if err != nil {
+			return 0, err
 		}
-		next++
 		l.mu.Lock()
-		l.store[next] = text
+		l.store[h] = text
 		l.bytes += len(text)
 		l.mu.Unlock()
-		return next
+		return h, nil
 	}
 }
 
@@ -118,24 +161,40 @@ func (l *Librarian) Stored() (count, bytes int) {
 // evaluators) are kept as-is. It is the shared-memory analogue of
 // CodeCodec.EncodeShip — the value crossing the fragment boundary has
 // size proportional to the number of referenced runs, not the text
-// length. A nil Code yields a nil (empty) Descriptor.
-func ToDescriptor(c Code, store func(text string) int32) *Descriptor {
+// length. A nil Code yields a nil (empty) Descriptor. A store failure
+// (handle-range exhaustion) aborts the walk and is returned.
+func ToDescriptor(c Code, store func(text string) (int32, error)) (*Descriptor, error) {
 	var d *Descriptor
+	var err error
 	var run strings.Builder
 	flush := func() {
-		if run.Len() == 0 {
+		if run.Len() == 0 || err != nil {
 			return
 		}
 		s := run.String()
 		run.Reset()
-		d = ConcatDesc(d, HandleDesc(store(s), len(s)))
+		h, storeErr := store(s)
+		if storeErr != nil {
+			err = storeErr
+			return
+		}
+		d = ConcatDesc(d, HandleDesc(h, len(s)))
 	}
 	WalkCode(c,
-		func(s string) { run.WriteString(s) },
+		func(s string) {
+			if err == nil {
+				run.WriteString(s)
+			}
+		},
 		func(h int32, n int) {
 			flush()
-			d = ConcatDesc(d, HandleDesc(h, n))
+			if err == nil {
+				d = ConcatDesc(d, HandleDesc(h, n))
+			}
 		})
 	flush()
-	return d
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
 }

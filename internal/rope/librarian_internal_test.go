@@ -1,26 +1,55 @@
 package rope
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
-// TestRangeExhaustionPanics checks that running out of a private
-// handle range fails loudly instead of colliding with the next range.
+// TestRangeExhaustionErrors checks that running out of a private
+// handle range fails with ErrRangeExhausted instead of colliding with
+// the next range (or, as it once did, panicking the whole process).
 // The capacity is lowered for the test; reaching the real 2^20 bound
 // would need a million stores.
-func TestRangeExhaustionPanics(t *testing.T) {
-	defer func(old int32) { rangeCap = old }(rangeCap)
-	rangeCap = 3
+func TestRangeExhaustionErrors(t *testing.T) {
+	defer SetRangeCapForTesting(3)()
 
 	lib := NewLibrarian()
 	store := lib.Range(0)
 	for i := 0; i < 3; i++ {
-		if h := store("x"); h != int32(i+1) {
+		h, err := store("x")
+		if err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+		if h != int32(i+1) {
 			t.Fatalf("store %d: handle %d", i, h)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected a panic on range exhaustion")
+	if _, err := store("overflow"); !errors.Is(err, ErrRangeExhausted) {
+		t.Fatalf("store past the cap returned %v, want ErrRangeExhausted", err)
+	}
+	// The failed store must not have touched the neighbouring range.
+	if got := lib.Lookup(4); got != "" {
+		t.Fatalf("failed store leaked text %q into handle 4", got)
+	}
+}
+
+// TestHandleAllocatorSharesCap checks the cluster-side allocator
+// enforces the same cap.
+func TestHandleAllocatorSharesCap(t *testing.T) {
+	defer SetRangeCapForTesting(2)()
+
+	alloc := HandleAllocator(1)
+	base := HandleBase(1)
+	for i := int32(1); i <= 2; i++ {
+		h, err := alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
 		}
-	}()
-	store("overflow")
+		if h != base+i {
+			t.Fatalf("alloc %d: handle %d, want %d", i, h, base+i)
+		}
+	}
+	if _, err := alloc(); !errors.Is(err, ErrRangeExhausted) {
+		t.Fatalf("alloc past the cap returned %v, want ErrRangeExhausted", err)
+	}
 }

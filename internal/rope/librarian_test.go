@@ -25,7 +25,12 @@ func TestLibrarianConcurrentStores(t *testing.T) {
 			defer wg.Done()
 			store := lib.Range(rope.HandleBase(g))
 			for i := 0; i < perG; i++ {
-				handles[g] = append(handles[g], store(fmt.Sprintf("g%d-%d;", g, i)))
+				h, err := store(fmt.Sprintf("g%d-%d;", g, i))
+				if err != nil {
+					t.Errorf("g%d store %d: %v", g, i, err)
+					return
+				}
+				handles[g] = append(handles[g], h)
 			}
 		}(g)
 	}
@@ -55,7 +60,10 @@ func TestToDescriptorRoundTrip(t *testing.T) {
 
 	// A "child fragment" ships some code as a descriptor.
 	child := rope.CatCode(rope.Text("child-a;"), rope.Text("child-b;"))
-	childDesc := rope.ToDescriptor(child, remoteStore)
+	childDesc, err := rope.ToDescriptor(child, remoteStore)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if childDesc.NumHandles() != 1 {
 		t.Fatalf("adjacent text runs should merge into one handle, got %d", childDesc.NumHandles())
 	}
@@ -66,7 +74,10 @@ func TestToDescriptorRoundTrip(t *testing.T) {
 	if got := rope.FlattenCode(parent, lib.Lookup); got != want {
 		t.Fatalf("FlattenCode = %q, want %q", got, want)
 	}
-	parentDesc := rope.ToDescriptor(parent, lib.Range(rope.HandleBase(2)))
+	parentDesc, err := rope.ToDescriptor(parent, lib.Range(rope.HandleBase(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got, want := parentDesc.Len(), len(want); got != want {
 		t.Fatalf("descriptor length %d, want %d", got, want)
 	}
@@ -82,7 +93,11 @@ func TestToDescriptorRoundTrip(t *testing.T) {
 // TestToDescriptorEmpty checks nil and empty Code values.
 func TestToDescriptorEmpty(t *testing.T) {
 	lib := rope.NewLibrarian()
-	if d := rope.ToDescriptor(nil, lib.Range(0)); d.Len() != 0 {
+	d, err := rope.ToDescriptor(nil, lib.Range(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
 		t.Fatalf("nil code described %d bytes", d.Len())
 	}
 	if count, _ := lib.Stored(); count != 0 {

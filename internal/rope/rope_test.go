@@ -143,10 +143,10 @@ func TestCodeCodecShip(t *testing.T) {
 	c := rope.CodeCodec{Librarian: true}
 	store := map[int32]string{}
 	next := int32(100)
-	save := func(text string) int32 {
+	save := func(text string) (int32, error) {
 		next++
 		store[next] = text
-		return next
+		return next, nil
 	}
 	// Mixed value: local text around a pre-existing handle.
 	orig := rope.CatCode(rope.Text("pre "), rope.HandleDesc(5, 3), rope.Text(" post"))
@@ -181,10 +181,10 @@ func TestShipRoundTripProperty(t *testing.T) {
 		}
 		store := map[int32]string{}
 		next := int32(0)
-		data, err := c.EncodeShip(func(s string) int32 {
+		data, err := c.EncodeShip(func(s string) (int32, error) {
 			next++
 			store[next] = s
-			return next
+			return next, nil
 		}, code)
 		if err != nil {
 			return false

@@ -136,6 +136,31 @@ func (t *Table) Len() int {
 	return t.size
 }
 
+// MemBytes estimates the retained memory of the table: every reachable
+// tree node plus its identifier text. Caches that retain attribute
+// values across compilations (the fragment cache's byte budget) use it
+// to charge symbol tables at their real weight; structure shared with
+// other persistent versions is charged to each of them, so the
+// estimate never undercounts.
+func (t *Table) MemBytes() int {
+	if t == nil {
+		return 0
+	}
+	const nodeCost = 56 // two pointers, hash, height, name header, val header
+	bytes := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		bytes += nodeCost + len(n.name)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return bytes
+}
+
 // Depth returns the height of the tree (0 for the empty table). With
 // hash-distributed keys it stays O(log n) in expectation. The height is
 // cached per node (maintained by Add and FromEntries along copied

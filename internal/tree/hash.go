@@ -1,0 +1,106 @@
+package tree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+)
+
+// Digest is a canonical structural content address of a subtree.
+// SHA-256 deliberately: fragment-cache keys are built from digests of
+// arbitrary user sources, and a collision would silently serve one
+// job's cached output as another's — the address must be
+// collision-resistant, not merely well-distributed.
+type Digest [sha256.Size]byte
+
+// Hash returns the canonical content address of the subtree: a digest
+// over everything the parser contributes to a fragment — node kinds,
+// symbol and production identities, terminal tokens and
+// scanner-supplied terminal attribute values, and the shape of remote
+// leaves (symbol plus fragment id). Attribute values of nonterminals
+// are evaluation *outputs* and are deliberately excluded, so a tree
+// hashes the same before and after evaluation.
+//
+// Two structurally identical subtrees (same grammar) always hash
+// equal; the encoding is length-prefixed and kind-tagged, so subtrees
+// that differ in any token, symbol, production or shape hash
+// differently. Symbols and productions are identified by their
+// grammar-local indices, so digests are only comparable between trees
+// of the same grammar — cache keys must carry the grammar identity
+// alongside the digest.
+func Hash(n *Node) Digest {
+	h := newHasher()
+	h.node(n)
+	return h.sum()
+}
+
+// Hash returns one digest covering every fragment's post-cut subtree
+// in fragment order — the content address of the decomposition itself,
+// pinning both each fragment's shape and how the cuts were placed.
+func (d *Decomposition) Hash() Digest {
+	h := newHasher()
+	for _, f := range d.Frags {
+		dig := Hash(f.Root)
+		h.w.Write(dig[:]) //nolint:errcheck // hash.Hash never errors
+	}
+	return h.sum()
+}
+
+type hasher struct {
+	w   hash.Hash
+	buf [8]byte
+}
+
+func newHasher() *hasher { return &hasher{w: sha256.New()} }
+
+func (h *hasher) byte(b byte) {
+	h.buf[0] = b
+	h.w.Write(h.buf[:1]) //nolint:errcheck // hash.Hash never errors
+}
+
+func (h *hasher) int(v int) {
+	binary.LittleEndian.PutUint64(h.buf[:], uint64(v))
+	h.w.Write(h.buf[:]) //nolint:errcheck // hash.Hash never errors
+}
+
+func (h *hasher) string(s string) {
+	h.int(len(s))
+	h.w.Write([]byte(s)) //nolint:errcheck // hash.Hash never errors
+}
+
+func (h *hasher) sum() Digest {
+	var d Digest
+	h.w.Sum(d[:0])
+	return d
+}
+
+// node mixes one subtree into the hash, kind-tagged with the same
+// tagInterior/tagTerminal/tagRemote bytes the wire encoding uses, so
+// an interior node can never collide with a terminal or remote leaf of
+// identical payload bytes.
+func (h *hasher) node(n *Node) {
+	switch {
+	case n.Remote:
+		h.byte(tagRemote)
+		h.int(n.Sym.Index)
+		h.int(n.RemoteID)
+	case n.Sym.Terminal:
+		h.byte(tagTerminal)
+		h.int(n.Sym.Index)
+		h.string(n.Token)
+		h.int(len(n.Attrs))
+		for _, v := range n.Attrs {
+			// Length-prefixed, not separator-joined: a formatted value
+			// may contain any byte, so only the prefix keeps adjacent
+			// values from sliding into each other and colliding.
+			h.string(fmt.Sprint(v))
+		}
+	default:
+		h.byte(tagInterior)
+		h.int(n.Prod.Index)
+		for _, c := range n.Children {
+			h.node(c)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package tree_test
+
+import (
+	"testing"
+
+	"pag/internal/exprlang"
+	"pag/internal/tree"
+)
+
+// TestHashEqualForIdenticalTrees is the positive half of the content
+// address property: structurally identical subtrees — parsed twice
+// from the same source, or deep-cloned — hash equal, before and after
+// decomposition mutates one of them is NOT covered here (cuts change
+// structure and must change the hash; see below).
+func TestHashEqualForIdenticalTrees(t *testing.T) {
+	for _, src := range []string{
+		"1",
+		"1+2*(3+4)+5*6",
+		"let x = 2 in 1 + 3*x ni",
+		exprlang.Generate(6, 5),
+		exprlang.Generate(12, 9),
+	} {
+		_, a := parse(t, src)
+		_, b := parse(t, src)
+		ha, hb := tree.Hash(a), tree.Hash(b)
+		if ha != hb {
+			t.Errorf("%.30q: two parses hash %x vs %x", src, ha, hb)
+		}
+		if hc := tree.Hash(a.Clone()); hc != ha {
+			t.Errorf("%.30q: clone hashes %x, original %x", src, hc, ha)
+		}
+	}
+}
+
+// TestHashSensitivity is the property-style negative half: mutating
+// any single terminal token (and its scanner attributes) anywhere in
+// the tree must change the hash, and so must structural edits — two
+// generated programs, a decomposition cut, a remote-leaf id change.
+func TestHashSensitivity(t *testing.T) {
+	l, root := parse(t, exprlang.Generate(8, 6))
+	base := tree.Hash(root)
+
+	if h := tree.Hash(root.Children[0]); h == base {
+		t.Error("subtree hashes equal to whole tree")
+	}
+
+	// Every terminal, mutated one at a time: token "1" <-> "2".
+	var terminals []*tree.Node
+	root.Walk(func(n *tree.Node) {
+		if n.Sym.Terminal && (n.Token == "1" || n.Token == "2") {
+			terminals = append(terminals, n)
+		}
+	})
+	if len(terminals) == 0 {
+		t.Fatal("generated program has no 1/2 literals to mutate")
+	}
+	for i, term := range terminals {
+		oldTok, oldAttrs := term.Token, term.Attrs
+		if term.Token == "1" {
+			term.Token = "2"
+		} else {
+			term.Token = "1"
+		}
+		attrs, err := l.TerminalAttrs(term.Sym, term.Token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		term.Attrs = attrs
+		if h := tree.Hash(root); h == base {
+			t.Errorf("terminal %d: single-token mutation %q->%q left hash unchanged", i, oldTok, term.Token)
+		}
+		term.Token, term.Attrs = oldTok, oldAttrs
+	}
+	if h := tree.Hash(root); h != base {
+		t.Fatal("mutations were not restored; test is broken")
+	}
+
+	// Different programs hash differently.
+	_, other := parse(t, exprlang.Generate(8, 7))
+	if tree.Hash(other) == base {
+		t.Error("different generated programs hash equal")
+	}
+
+	// A decomposition cut replaces a subtree with a remote leaf — the
+	// post-cut tree must hash differently from the original, and two
+	// remote leaves differing only in fragment id must differ too.
+	clone := root.Clone()
+	tree.Decompose(clone, 0, 4)
+	if tree.Hash(clone) == base {
+		t.Error("decomposed tree hashes equal to the uncut tree")
+	}
+	var remote *tree.Node
+	clone.Walk(func(n *tree.Node) {
+		if n.Remote && remote == nil {
+			remote = n
+		}
+	})
+	if remote != nil {
+		cut := tree.Hash(clone)
+		remote.RemoteID += 7
+		if tree.Hash(clone) == cut {
+			t.Error("remote-leaf id change left hash unchanged")
+		}
+		remote.RemoteID -= 7
+	}
+}

@@ -46,8 +46,17 @@ func (d *Decomposition) Sizes() []int {
 // Balance returns max/mean of the fragment sizes (1.0 = perfectly
 // even); it quantifies the paper's §4.1 observation that the best
 // machine count is the one whose decomposition is most even.
+// Degenerate decompositions — no fragments at all, or every fragment
+// of size zero — have nothing to balance and are defined as perfectly
+// even (1.0) rather than dividing by zero.
 func (d *Decomposition) Balance() float64 {
-	sizes := d.Sizes()
+	return balanceOf(d.Sizes())
+}
+
+// balanceOf is Balance on a raw size slice, separated so degenerate
+// inputs are testable directly (Node.Size never reports zero, but
+// Balance's contract should not depend on that invariant).
+func balanceOf(sizes []int) float64 {
 	if len(sizes) == 0 {
 		return 1
 	}
@@ -58,11 +67,10 @@ func (d *Decomposition) Balance() float64 {
 		}
 		sum += s
 	}
-	mean := float64(sum) / float64(len(sizes))
-	if mean == 0 {
+	if sum == 0 {
 		return 1
 	}
-	return float64(max) / mean
+	return float64(max) * float64(len(sizes)) / float64(sum)
 }
 
 // shallowSize is the linearized size contribution of the node itself,

@@ -1,0 +1,38 @@
+package tree
+
+import "testing"
+
+// TestBalanceDegenerate pins Balance's contract on degenerate inputs:
+// an empty decomposition, a single fragment, and all-zero sizes must
+// all yield the defined value 1.0 (perfectly even) — never a division
+// by zero, NaN or Inf.
+func TestBalanceDegenerate(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []int
+		want  float64
+	}{
+		{"empty", nil, 1},
+		{"empty slice", []int{}, 1},
+		{"single fragment", []int{120}, 1},
+		{"single zero", []int{0}, 1},
+		{"all zero", []int{0, 0, 0}, 1},
+		{"even", []int{50, 50, 50, 50}, 1},
+		{"uneven", []int{90, 30, 30, 30}, 2},
+		{"one empty fragment", []int{60, 0}, 2},
+	}
+	for _, c := range cases {
+		got := balanceOf(c.sizes)
+		if got != c.want {
+			t.Errorf("%s: balanceOf(%v) = %v, want %v", c.name, c.sizes, got, c.want)
+		}
+		if got != got || got < 1 { // NaN or sub-1 balance is always a bug
+			t.Errorf("%s: balanceOf(%v) = %v out of domain", c.name, c.sizes, got)
+		}
+	}
+
+	// And through the public method on a real (empty) decomposition.
+	if got := (&Decomposition{}).Balance(); got != 1 {
+		t.Errorf("empty Decomposition.Balance() = %v, want 1", got)
+	}
+}

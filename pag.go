@@ -151,14 +151,22 @@ type (
 	ParallelResult = parallel.Result
 	// Pool is a persistent compile service: one long-lived worker pool
 	// serving many concurrent compile jobs, each isolated in its own
-	// fragment set and librarian handle namespace.
+	// fragment set and librarian handle namespace, with a
+	// content-addressed fragment cache replaying recompilations of
+	// identical sources without re-evaluating any attributes.
 	Pool = parallel.Pool
-	// PoolOptions configures a Pool: workers, max in-flight jobs and
-	// the admission-queue depth.
+	// PoolOptions configures a Pool: workers, max in-flight jobs, the
+	// admission-queue depth and the fragment-cache byte budget
+	// (CacheBytes; 0 = DefaultCacheBytes, negative disables caching).
 	PoolOptions = parallel.PoolOptions
-	// PoolStats is a snapshot of a Pool's activity.
+	// PoolStats is a snapshot of a Pool's activity, including fragment
+	// cache hit/miss/eviction counters.
 	PoolStats = parallel.PoolStats
 )
+
+// DefaultCacheBytes is the fragment-cache budget a Pool uses when
+// PoolOptions.CacheBytes is zero.
+const DefaultCacheBytes = parallel.DefaultCacheBytes
 
 // Pool failure modes (errors.Is-able).
 var (
