@@ -4,10 +4,10 @@
 GO ?= go
 
 # Benchmarks tracked in the BENCH_*.json perf trajectory.
-BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache
-BENCH_BASELINE = BENCH_PR4.json
+BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental
+BENCH_BASELINE = BENCH_PR5.json
 
-.PHONY: all build test race bench bench-parallel bench-json benchstat lint fmt check figures clean
+.PHONY: all build test race bench bench-parallel bench-json benchstat bench-gate fuzz lint fmt check figures clean
 
 all: build
 
@@ -40,6 +40,18 @@ bench-json:
 benchstat:
 	$(GO) run ./cmd/benchjson -bench '$(BENCH_TRACKED)' -benchtime 2s -o /tmp/bench-new.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) /tmp/bench-new.json
+
+# The CI regression gate, runnable locally: fails on a >25%% ns/op
+# regression against the committed baseline or any allocs/op gained on
+# a zero-alloc benchmark.
+bench-gate:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_TRACKED)' -benchtime 2s -o /tmp/bench-new.json
+	$(GO) run ./cmd/benchjson -compare -fail-over 25 $(BENCH_BASELINE) /tmp/bench-new.json
+
+# Short-budget native fuzzing of the incremental-cache invariants.
+fuzz:
+	$(GO) test ./internal/tree -run XXX -fuzz FuzzHash -fuzztime 30s
+	$(GO) test ./internal/parallel -run XXX -fuzz FuzzInboundCanon -fuzztime 15s
 
 lint:
 	$(GO) vet ./...

@@ -48,19 +48,28 @@ type File struct {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1s", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package to benchmark")
-	out := flag.String("o", "BENCH_PR3.json", "output file")
+	out := flag.String("o", "BENCH_PR5.json", "output file")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json files: benchjson -compare old.json new.json")
+	failOver := flag.Float64("fail-over", 0, "with -compare: exit nonzero when any benchmark regresses by more than this percentage in ns/op, or gains any allocs/op on a zero-alloc baseline (0 = report only)")
 	flag.Parse()
 
+	if *failOver != 0 && !*compare {
+		fmt.Fprintln(os.Stderr, "benchjson: -fail-over only applies to -compare")
+		os.Exit(2)
+	}
+	if *failOver < 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -fail-over threshold must be positive")
+		os.Exit(2)
+	}
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-fail-over PCT] old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := compareFiles(flag.Arg(0), flag.Arg(1), *failOver); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -175,7 +184,13 @@ func load(path string) (*File, error) {
 }
 
 // compareFiles prints a benchstat-style delta table of two recordings.
-func compareFiles(oldPath, newPath string) error {
+// With failOver > 0 it becomes a regression gate: any benchmark whose
+// ns/op regressed by more than failOver percent fails the comparison,
+// as does any allocs/op increase on a benchmark whose baseline was
+// zero-alloc (those are allocation-regression guards — a single new
+// alloc on the hot path is exactly what they exist to catch, and no
+// percentage threshold is meaningful against a baseline of zero).
+func compareFiles(oldPath, newPath string, failOver float64) error {
 	oldF, err := load(oldPath)
 	if err != nil {
 		return err
@@ -192,12 +207,16 @@ func compareFiles(oldPath, newPath string) error {
 	for _, b := range newF.Benchmarks {
 		newBy[b.Name] = true
 	}
+	var failures []string
 	fmt.Printf("%-44s %14s %14s %9s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op old→new")
 	for _, nb := range newF.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
 			fmt.Printf("%-44s %14s %14.0f %9s %18s\n", nb.Name, "-", nb.NsPerOp, "new", allocCell(nil, &nb))
 			continue
+		}
+		if failOver > 0 && ob.AllocsPerOp == 0 && nb.AllocsPerOp > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op on a zero-alloc baseline", nb.Name, nb.AllocsPerOp))
 		}
 		// A baseline of zero (hand-edited file, or a metric the old
 		// toolchain didn't record) has no meaningful percentage: say
@@ -211,6 +230,9 @@ func compareFiles(oldPath, newPath string) error {
 		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
 		fmt.Printf("%-44s %14.0f %14.0f %+8.1f%% %18s\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, allocCell(&ob, &nb))
+		if failOver > 0 && delta > failOver {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %+.1f%% (threshold %.0f%%)", nb.Name, delta, failOver))
+		}
 	}
 	// A baseline benchmark that produced no new result is itself a
 	// regression (a perf guard silently vanished) — say so loudly.
@@ -223,6 +245,12 @@ func compareFiles(oldPath, newPath string) error {
 	}
 	if missing > 0 {
 		return fmt.Errorf("%d baseline benchmark(s) missing from %s", missing, newPath)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond the -fail-over gate", len(failures))
 	}
 	return nil
 }

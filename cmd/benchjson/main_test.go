@@ -34,14 +34,14 @@ func TestCompareZeroBaseline(t *testing.T) {
 		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 120},
 		{Name: "BenchmarkC", Iterations: 1, NsPerOp: 10}, // new benchmark: fine
 	})
-	if err := compareFiles(old, new1); err != nil {
+	if err := compareFiles(old, new1, 0); err != nil {
 		t.Errorf("zero baseline made compare fail: %v", err)
 	}
 
 	missing := writeBench(t, dir, "missing.json", []Benchmark{
 		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 90},
 	})
-	if err := compareFiles(old, missing); err == nil {
+	if err := compareFiles(old, missing, 0); err == nil {
 		t.Error("a vanished baseline benchmark compared clean")
 	}
 }
@@ -59,5 +59,44 @@ func TestParseLine(t *testing.T) {
 	}
 	if _, ok := parseLine("ok  \tpag\t10.6s"); ok {
 		t.Error("non-benchmark line parsed")
+	}
+}
+
+// TestCompareFailOver covers the CI regression gate: within threshold
+// passes, over threshold fails, and any allocs/op gained on a
+// zero-alloc baseline fails regardless of timing.
+func TestCompareFailOver(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkBig", Iterations: 1, NsPerOp: 1000, AllocsPerOp: 40},
+	})
+
+	within := writeBench(t, dir, "within.json", []Benchmark{
+		{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 110, AllocsPerOp: 0},
+		{Name: "BenchmarkBig", Iterations: 1, NsPerOp: 1200, AllocsPerOp: 45},
+	})
+	if err := compareFiles(old, within, 25); err != nil {
+		t.Errorf("within-threshold run failed the gate: %v", err)
+	}
+
+	slow := writeBench(t, dir, "slow.json", []Benchmark{
+		{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkBig", Iterations: 1, NsPerOp: 1400, AllocsPerOp: 40},
+	})
+	if err := compareFiles(old, slow, 25); err == nil {
+		t.Error("a +40% ns/op regression passed a 25% gate")
+	}
+	// Report-only mode must not fail on the same data.
+	if err := compareFiles(old, slow, 0); err != nil {
+		t.Errorf("report-only compare failed: %v", err)
+	}
+
+	alloc := writeBench(t, dir, "alloc.json", []Benchmark{
+		{Name: "BenchmarkHot", Iterations: 1, NsPerOp: 90, AllocsPerOp: 1},
+		{Name: "BenchmarkBig", Iterations: 1, NsPerOp: 1000, AllocsPerOp: 40},
+	})
+	if err := compareFiles(old, alloc, 25); err == nil {
+		t.Error("an alloc gained on a zero-alloc baseline passed the gate")
 	}
 }

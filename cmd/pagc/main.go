@@ -15,6 +15,19 @@
 // of re-evaluating them (-cache-bytes sizes it, negative disables):
 //
 //	pagc -batch [-workers 8] [-cache-bytes N] a.pas b.pas c.pas
+//
+// Series mode treats the operands as successive versions of ONE
+// program (an edit series) and compiles them in order through the
+// pool, so each version's unchanged fragments replay incrementally
+// from the previous versions' recordings; the per-file report shows
+// the partial-hit counts:
+//
+//	pagc -batch -series v1.pas v2.pas v3.pas
+//
+// -dump-source prints the generated workload source instead of
+// compiling it (the seed for building such an edit series):
+//
+//	pagc -workload tiny -dump-source > v1.pas
 package main
 
 import (
@@ -43,7 +56,9 @@ func main() {
 	asm := flag.Bool("S", false, "print the produced VAX assembly")
 	quiet := flag.Bool("q", false, "suppress the compilation summary (with -S: print assembly only)")
 	wl := flag.String("workload", "", "compile a generated workload (tiny, small, course) instead of a file")
+	dump := flag.Bool("dump-source", false, "print the generated -workload source instead of compiling it")
 	batch := flag.Bool("batch", false, "compile every file through one persistent pool on the real multicore runtime")
+	series := flag.Bool("series", false, "batch mode: compile the files sequentially as successive versions of one program (edit series; unchanged fragments replay incrementally)")
 	workers := flag.Int("workers", 0, "batch mode: pool worker goroutines (0 = all CPUs)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "batch mode: fragment cache budget in bytes (0 = default, <0 = disable)")
 	flag.Parse()
@@ -51,7 +66,7 @@ func main() {
 	cfg := config{
 		machines: *machines, modeName: *mode, gran: *gran,
 		noLib: *noLib, chain: *chain, gantt: *gantt, asm: *asm, quiet: *quiet,
-		wl: *wl, batch: *batch, workers: *workers, cacheBytes: *cacheBytes,
+		wl: *wl, dump: *dump, batch: *batch, series: *series, workers: *workers, cacheBytes: *cacheBytes,
 	}
 	if err := run(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pagc:", err)
@@ -69,12 +84,31 @@ type config struct {
 	asm        bool
 	quiet      bool
 	wl         string
+	dump       bool
 	batch      bool
+	series     bool
 	workers    int
 	cacheBytes int64
 }
 
 func run(out io.Writer, cfg config, args []string) error {
+	if cfg.dump {
+		if cfg.wl == "" {
+			return fmt.Errorf("-dump-source prints a generated workload; combine it with -workload")
+		}
+		if cfg.batch || len(args) > 0 {
+			return fmt.Errorf("-dump-source only prints the -workload source; drop the other operands")
+		}
+		src, err := workloadSource(cfg.wl)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, src)
+		return err
+	}
+	if cfg.series && !cfg.batch {
+		return fmt.Errorf("-series is a -batch mode (an edit series compiles through one pool)")
+	}
 	if cfg.batch {
 		return runBatch(out, cfg, args)
 	}
@@ -211,38 +245,52 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 		Librarian:   !cfg.noLib,
 		UIDPreset:   !cfg.chain,
 	}
+	results := make([]batchResult, len(args))
+
+	compileOne := func(i int, file string) {
+		results[i] = batchResult{file: file}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		job, err := l.ClusterJob(string(data))
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		res, err := pool.Compile(context.Background(), job, opts)
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		if errs := pascal.SemanticErrors(res.RootAttrs); len(errs) > 0 {
+			results[i].err = fmt.Errorf("%d semantic error(s): %s", len(errs), errs[0])
+			return
+		}
+		results[i].res = res
+	}
 
 	start := time.Now()
-	results := make([]batchResult, len(args))
-	var wg sync.WaitGroup
-	for i, file := range args {
-		wg.Add(1)
-		go func(i int, file string) {
-			defer wg.Done()
-			results[i] = batchResult{file: file}
-			data, err := os.ReadFile(file)
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			job, err := l.ClusterJob(string(data))
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			res, err := pool.Compile(context.Background(), job, opts)
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			if errs := pascal.SemanticErrors(res.RootAttrs); len(errs) > 0 {
-				results[i].err = fmt.Errorf("%d semantic error(s): %s", len(errs), errs[0])
-				return
-			}
-			results[i].res = res
-		}(i, file)
+	if cfg.series {
+		// An edit series is inherently ordered: version N+1's unchanged
+		// fragments replay from the recordings version N (or an earlier
+		// full version) left in the cache, so the files must go through
+		// the pool one after another, not concurrently.
+		for i, file := range args {
+			compileOne(i, file)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, file := range args {
+			wg.Add(1)
+			go func(i int, file string) {
+				defer wg.Done()
+				compileOne(i, file)
+			}(i, file)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	wall := time.Since(start)
 
 	failed := 0
@@ -253,9 +301,13 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 			continue
 		}
 		if !cfg.quiet {
-			fmt.Fprintf(out, "%s: %d bytes of VAX assembly, %d fragment(s), %v (split %v + eval %v + splice %v)\n",
+			fmt.Fprintf(out, "%s: %d bytes of VAX assembly, %d fragment(s), %v (split %v + eval %v + splice %v)",
 				r.file, len(r.res.Program), r.res.Frags, r.res.WallTime,
 				r.res.SplitTime, r.res.EvalTime, r.res.SpliceTime)
+			if r.res.PartialHits > 0 || r.res.Demoted > 0 {
+				fmt.Fprintf(out, ", %d/%d fragment(s) replayed incrementally", r.res.PartialHits, r.res.Frags)
+			}
+			fmt.Fprintln(out)
 		}
 		if cfg.asm {
 			fmt.Fprintf(out, "; ==== %s ====\n%s\n", r.file, r.res.Program)
@@ -264,6 +316,10 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 	if !cfg.quiet {
 		fmt.Fprintf(out, "batch: %d/%d file(s) on a %d-worker pool in %v\n",
 			len(args)-failed, len(args), pool.Workers(), wall)
+		if st := pool.Stats(); st.CacheCapBytes > 0 {
+			fmt.Fprintf(out, "cache: %d whole-job hit(s), %d fragment(s) replayed incrementally across %d job(s), %d candidate(s) demoted\n",
+				st.CacheHits, st.CachePartialHits, st.CachePartialJobs, st.CacheDemoted)
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d file(s) failed", failed, len(args))

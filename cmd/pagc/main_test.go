@@ -205,3 +205,78 @@ func TestBatchIdenticalFilesHitCache(t *testing.T) {
 		}
 	}
 }
+
+// TestDumpSource covers -dump-source: it prints exactly the generated
+// workload source and rejects conflicting operands.
+func TestDumpSource(t *testing.T) {
+	cfg := defaults()
+	cfg.dump = true
+	cfg.wl = "tiny"
+	var out bytes.Buffer
+	if err := run(&out, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != workload.Generate(workload.Tiny()) {
+		t.Error("-dump-source output differs from the generated workload")
+	}
+
+	if err := run(os.Stdout, defaults(), nil); err == nil {
+		t.Error("plain run with no operands was accepted") // sanity: defaults alone error
+	}
+	cfg2 := defaults()
+	cfg2.dump = true
+	if err := run(os.Stdout, cfg2, nil); err == nil {
+		t.Error("-dump-source without -workload was accepted")
+	}
+	cfg3 := defaults()
+	cfg3.dump = true
+	cfg3.wl = "tiny"
+	if err := run(os.Stdout, cfg3, []string{"a.pas"}); err == nil {
+		t.Error("-dump-source with a file operand was accepted")
+	}
+}
+
+// TestSeriesModeReplaysIncrementally drives an edit series (base
+// program plus two one-token-edited versions) through -batch -series
+// and checks the pool reports incremental fragment replays: the edited
+// versions miss the whole-tree key but reuse the unchanged fragments.
+func TestSeriesModeReplaysIncrementally(t *testing.T) {
+	dir := t.TempDir()
+	base := workload.Generate(workload.Tiny())
+	versions := []string{
+		base,
+		strings.Replace(base, "(gtotal - gtotal)", "(gtotal - gcount)", 1),
+		strings.Replace(base, "'total '", "'tutal '", 1),
+	}
+	files := make([]string, len(versions))
+	for i, src := range versions {
+		if i > 0 && src == versions[0] {
+			t.Fatal("edit did not apply")
+		}
+		files[i] = filepath.Join(dir, fmt.Sprintf("v%d.pas", i+1))
+		if err := os.WriteFile(files[i], []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := defaults()
+	cfg.machines = 1
+	cfg.batch = true
+	cfg.series = true
+	cfg.quiet = false
+	cfg.workers = 4
+	var out bytes.Buffer
+	if err := run(&out, cfg, files); err != nil {
+		t.Fatalf("series run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replayed incrementally") {
+		t.Errorf("series report shows no incremental replays:\n%s", out.String())
+	}
+
+	// -series outside -batch is a usage error.
+	cfg2 := defaults()
+	cfg2.series = true
+	cfg2.wl = "tiny"
+	if err := run(os.Stdout, cfg2, nil); err == nil {
+		t.Error("-series without -batch was accepted")
+	}
+}

@@ -149,16 +149,19 @@ type compileRequest struct {
 
 // event is one JSON line of the default streaming response.
 type event struct {
-	Status        string   `json:"status"` // queued, done, error
-	Error         string   `json:"error,omitempty"`
-	Errors        []string `json:"errors,omitempty"` // semantic errors
-	Frags         int      `json:"frags,omitempty"`
-	Workers       int      `json:"workers,omitempty"`
-	Messages      int      `json:"messages,omitempty"`
-	WallMs        float64  `json:"wall_ms,omitempty"`
-	EvalMs        float64  `json:"eval_ms,omitempty"`
-	AssemblyBytes int      `json:"assembly_bytes,omitempty"`
-	Assembly      string   `json:"assembly,omitempty"`
+	Status   string   `json:"status"` // queued, done, error
+	Error    string   `json:"error,omitempty"`
+	Errors   []string `json:"errors,omitempty"` // semantic errors
+	Frags    int      `json:"frags,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+	Messages int      `json:"messages,omitempty"`
+	// PartialHits counts fragments replayed incrementally from the
+	// cache for this job (an edited tree reusing unaffected fragments).
+	PartialHits   int     `json:"partial_hits,omitempty"`
+	WallMs        float64 `json:"wall_ms,omitempty"`
+	EvalMs        float64 `json:"eval_ms,omitempty"`
+	AssemblyBytes int     `json:"assembly_bytes,omitempty"`
+	Assembly      string  `json:"assembly,omitempty"`
 }
 
 // httpStatusFor maps compile failures onto HTTP status codes for the
@@ -309,6 +312,7 @@ func (s *server) compileStream(ctx context.Context, w http.ResponseWriter, src s
 		Frags:         res.Frags,
 		Workers:       res.Workers,
 		Messages:      res.Messages,
+		PartialHits:   res.PartialHits,
 		WallMs:        float64(res.WallTime) / float64(time.Millisecond),
 		EvalMs:        float64(res.EvalTime) / float64(time.Millisecond),
 		AssemblyBytes: len(res.Program),

@@ -296,3 +296,93 @@ func TestRecoveryMiddleware(t *testing.T) {
 		t.Errorf("body %q does not carry the panic", rec.Body.String())
 	}
 }
+
+// TestIncrementalEditOverHTTP is the end-to-end incremental path: a
+// one-token-edited source submitted after the base workload misses the
+// whole-tree key, replays the unaffected fragments (partial_hits in
+// /stats and in the stream's done event), and returns assembly
+// byte-identical to compiling the edited source from scratch.
+func TestIncrementalEditOverHTTP(t *testing.T) {
+	_, ts := testServer(t)
+	base := workload.Generate(workload.Tiny())
+	edited := strings.Replace(base, "(gtotal - gtotal)", "(gtotal - gcount)", 1)
+	if edited == base {
+		t.Fatal("edit target not found in tiny workload")
+	}
+	postASM := func(body string) string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/compile?format=asm", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		return string(raw)
+	}
+	enc := func(src string) string {
+		b, err := json.Marshal(map[string]string{"source": src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	postASM(enc(base)) // record the base program
+	got := postASM(enc(edited))
+
+	// Reference: a fresh daemon (empty cache) compiling the edited
+	// source cold at the same width.
+	_, ref := testServer(t)
+	resp, err := http.Post(ref.URL+"/compile?format=asm", "application/json", strings.NewReader(enc(edited)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	want, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("incremental assembly differs from cold reference (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// /stats reports the partial replay.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st parallel.PoolStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CachePartialHits < 1 || st.CachePartialJobs < 1 {
+		t.Errorf("stats missed the incremental replay: %+v", st)
+	}
+
+	// The streaming mode's done event carries the per-job count.
+	stream, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(enc(edited)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	var done event
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if e.Status == "done" {
+			done = e
+		}
+	}
+	if done.Status != "done" || done.PartialHits < 1 {
+		t.Errorf("done event reports %d partial hits, want >= 1 (%+v)", done.PartialHits, done)
+	}
+}

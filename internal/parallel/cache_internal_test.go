@@ -6,7 +6,7 @@ import (
 	"pag/internal/tree"
 )
 
-func testKey(i int) cacheKey { return cacheKey{jobHash: tree.Digest{byte(i)}, frags: 1} }
+func testKey(i int) cacheKey { return cacheKey{fragsHash: tree.Digest{byte(i)}, frags: 1} }
 
 func testEntry(runBytes int) *cacheEntry {
 	runs := []string{string(make([]byte, runBytes))}

@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+)
+
+func obsFixture() []inObs {
+	mk := func(leaf, attr int, b byte) inObs {
+		fp := valFP{}
+		fp[0] = b
+		return inObs{key: inKey{leaf: leaf, attr: attr}, fp: fp}
+	}
+	return []inObs{
+		mk(rootSlot, 0, 1),
+		mk(rootSlot, 2, 2),
+		mk(1, 0, 3),
+		mk(1, 3, 4),
+		mk(4, 0, 5),
+	}
+}
+
+// TestCanonInboundOrderIndependent pins the property the tentative
+// matcher relies on: the canonical inbound form is a pure set — every
+// arrival order of the same messages produces the identical map. This
+// is the regression test for demotion on arrival order: two runs of
+// the scheduler deliver the same values in different interleavings,
+// and a canonicalization that leaked order would demote (or worse,
+// replay against the wrong expectation) depending on timing.
+func TestCanonInboundOrderIndependent(t *testing.T) {
+	obs := obsFixture()
+	want, err := canonInbound(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(obs) {
+		t.Fatalf("canonical set has %d entries, want %d", len(want), len(obs))
+	}
+	perms := [][]int{
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+		{1, 4, 0, 3, 2},
+	}
+	for _, p := range perms {
+		shuffled := make([]inObs, len(obs))
+		for i, j := range p {
+			shuffled[i] = obs[j]
+		}
+		got, err := canonInbound(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("permutation %v canonicalized differently", p)
+		}
+	}
+}
+
+// TestCanonInboundRejectsConflicts: the same instance observed with
+// two different values means the run violated one-value-per-instance;
+// such a recording must never be published as matchable.
+func TestCanonInboundRejectsConflicts(t *testing.T) {
+	obs := obsFixture()
+	bad := obs[1]
+	bad.fp[0] ^= 0xFF
+	if _, err := canonInbound(append(obs, bad)); err == nil {
+		t.Fatal("conflicting duplicate observation was accepted")
+	}
+	// An exact duplicate (same key, same value) is harmless.
+	if _, err := canonInbound(append(obs, obs[1])); err != nil {
+		t.Fatalf("identical duplicate observation rejected: %v", err)
+	}
+}
+
+// FuzzInboundCanon fuzzes the order-independence of the cache-key
+// canonicalization of inbound message sets: any rotation or reversal
+// of the observation sequence must canonicalize to the same map, and
+// conflict detection must not depend on order either.
+func FuzzInboundCanon(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, 1)
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2}, 3)
+	f.Add([]byte{9, 8, 7, 9, 8, 7}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, rot int) {
+		var obs []inObs
+		for i := 0; i+2 < len(data); i += 3 {
+			fp := valFP{}
+			fp[0] = data[i+2] & 3 // few distinct values → conflicts do occur
+			obs = append(obs, inObs{
+				key: inKey{leaf: int(data[i]&7) - 1, attr: int(data[i+1] & 7)},
+				fp:  fp,
+			})
+		}
+		if len(obs) == 0 {
+			t.Skip()
+		}
+		a, errA := canonInbound(obs)
+
+		if rot < 0 {
+			rot = -rot
+		}
+		rot %= len(obs)
+		rotated := append(append([]inObs(nil), obs[rot:]...), obs[:rot]...)
+		b, errB := canonInbound(rotated)
+
+		reversed := make([]inObs, len(obs))
+		for i := range obs {
+			reversed[len(obs)-1-i] = obs[i]
+		}
+		c, errC := canonInbound(reversed)
+
+		if (errA == nil) != (errB == nil) || (errA == nil) != (errC == nil) {
+			t.Fatalf("conflict detection depends on order: %v / %v / %v", errA, errB, errC)
+		}
+		if errA != nil {
+			return
+		}
+		if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+			t.Fatal("canonical inbound set depends on observation order")
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package parallel_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"pag/internal/cluster"
+	"pag/internal/experiments"
+	"pag/internal/parallel"
+	"pag/internal/pascal"
+	"pag/internal/workload"
+)
+
+// incLang is the one Pascal frontend shared by the incremental tests:
+// the per-fragment cache key includes grammar identity (recordings are
+// only valid for the grammar they were made under), so base and edited
+// jobs must come from the same Lang — exactly how pagd and pagc hold
+// one frontend across requests.
+var incLang = pascal.MustNew()
+
+// pascalSrcJob builds a cluster job from explicit Pascal source (the
+// incremental tests compile edited variants of a generated workload).
+func pascalSrcJob(t *testing.T, src string) cluster.Job {
+	t.Helper()
+	job, err := incLang.ClusterJob(src)
+	if err != nil {
+		t.Fatalf("ClusterJob: %v", err)
+	}
+	return job
+}
+
+// editSameLen replaces old with new (same byte length, so the
+// decomposition granularity and cut placement are unchanged) and fails
+// the test if the edit does not apply or would move the cuts.
+func editSameLen(t *testing.T, src, old, new string) string {
+	t.Helper()
+	if len(old) != len(new) {
+		t.Fatalf("edit %q -> %q changes length", old, new)
+	}
+	if !strings.Contains(src, old) {
+		t.Fatalf("edit target %q not in source", old)
+	}
+	return strings.Replace(src, old, new, 1)
+}
+
+// clusterProgram is the byte-identity oracle: the simulated cluster's
+// output for the same job at the same decomposition width.
+func clusterProgram(t *testing.T, job cluster.Job, frags int, librarian bool) string {
+	t.Helper()
+	opts := experiments.DefaultOptions()
+	opts.Machines = frags
+	opts.Librarian = librarian
+	res, err := cluster.Run(job, opts)
+	if err != nil {
+		t.Fatalf("cluster.Run: %v", err)
+	}
+	return res.Program
+}
+
+// TestIncrementalEditReplaysUnaffectedFragments is the incremental
+// cache's core contract: after a cold compile records the base
+// program, compiling a one-token-edited variant (whole-tree key miss)
+// replays the fragments the edit does not touch and produces output
+// byte-identical to the simulated cluster compiling the edited program
+// from scratch.
+func TestIncrementalEditReplaysUnaffectedFragments(t *testing.T) {
+	base := workload.Generate(workload.Tiny())
+	// The edit lands in the statements the root fragment retains and
+	// changes neither declarations (the global symbol table stays
+	// identical) nor any token length (the cuts stay put) — every
+	// non-root fragment is unaffected and eligible to replay.
+	edited := editSameLen(t, base, "(gtotal - gtotal)", "(gtotal - gcount)")
+
+	for _, width := range []int{2, 4} {
+		t.Run(map[int]string{2: "width2", 4: "width4"}[width], func(t *testing.T) {
+			pool := parallel.NewPool(parallel.PoolOptions{Workers: 4})
+			defer pool.Close()
+			ctx := context.Background()
+			opts := parallel.Options{Fragments: width, Librarian: true, UIDPreset: true}
+
+			cold, err := pool.Compile(ctx, pascalSrcJob(t, base), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.PartialHits != 0 {
+				t.Errorf("cold run reported %d partial hits", cold.PartialHits)
+			}
+			editedJob := pascalSrcJob(t, edited)
+			warm, err := pool.Compile(ctx, editedJob, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.PartialHits < 1 {
+				t.Errorf("edited compile replayed %d fragments, want >= 1 (demoted %d)", warm.PartialHits, warm.Demoted)
+			}
+			if warm.Program == cold.Program {
+				t.Errorf("edited program is identical to base — the edit did not recompile")
+			}
+			if want := clusterProgram(t, editedJob, width, true); warm.Program != want {
+				t.Errorf("incremental program differs from cluster reference (%d vs %d bytes)", len(warm.Program), len(want))
+			}
+			st := pool.Stats()
+			if st.CachePartialHits < 1 || st.CachePartialJobs < 1 {
+				t.Errorf("pool stats missed the partial replay: %+v", st)
+			}
+		})
+	}
+}
+
+// TestIncrementalRepeatedEditsStaySound recompiles the edited variant
+// many times on one pool: every run is a whole-tree miss validating
+// recordings against live-produced inbound values whose arrival order
+// varies with scheduling. The canonical (order-independent) inbound
+// form must make every run replay the same fragments and produce the
+// same bytes — an order-sensitive comparison would demote flakily and
+// this test would catch it.
+func TestIncrementalRepeatedEditsStaySound(t *testing.T) {
+	base := workload.Generate(workload.Tiny())
+	edited := editSameLen(t, base, "(gtotal - gtotal)", "(gtotal - gcount)")
+	pool := parallel.NewPool(parallel.PoolOptions{Workers: 4})
+	defer pool.Close()
+	ctx := context.Background()
+	opts := parallel.Options{Fragments: 4, Librarian: true, UIDPreset: true}
+
+	if _, err := pool.Compile(ctx, pascalSrcJob(t, base), opts); err != nil {
+		t.Fatal(err)
+	}
+	editedJob := pascalSrcJob(t, edited)
+	want := clusterProgram(t, editedJob, 4, true)
+	first := -1
+	for i := 0; i < 20; i++ {
+		res, err := pool.Compile(ctx, editedJob, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Program != want {
+			t.Fatalf("run %d: program differs from cluster reference", i)
+		}
+		if res.PartialHits < 1 {
+			t.Fatalf("run %d: no partial hits (demoted %d)", i, res.Demoted)
+		}
+		if first < 0 {
+			first = res.PartialHits
+		} else if res.PartialHits != first {
+			t.Fatalf("run %d: replayed %d fragments, run 0 replayed %d — arrival order leaked into matching",
+				i, res.PartialHits, first)
+		}
+	}
+}
+
+// TestIncrementalDemotesOnChangedInputs edits a declaration, which
+// changes the global symbol table every fragment receives: every
+// replay candidate must demote (replaying would be unsound) and the
+// output must still be byte-identical to a from-scratch compile.
+func TestIncrementalDemotesOnChangedInputs(t *testing.T) {
+	base := workload.Generate(workload.Tiny())
+	edited := editSameLen(t, base, "scale = 4", "scale = 7")
+	pool := parallel.NewPool(parallel.PoolOptions{Workers: 4})
+	defer pool.Close()
+	ctx := context.Background()
+	opts := parallel.Options{Fragments: 4, Librarian: true, UIDPreset: true}
+
+	if _, err := pool.Compile(ctx, pascalSrcJob(t, base), opts); err != nil {
+		t.Fatal(err)
+	}
+	editedJob := pascalSrcJob(t, edited)
+	res, err := pool.Compile(ctx, editedJob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demoted < 1 {
+		t.Errorf("changed symbol table demoted %d candidates, want >= 1 (partial hits %d)", res.Demoted, res.PartialHits)
+	}
+	if want := clusterProgram(t, editedJob, 4, true); res.Program != want {
+		t.Errorf("post-demotion program differs from cluster reference")
+	}
+	if st := pool.Stats(); st.CacheDemoted < 1 {
+		t.Errorf("pool stats missed the demotion: %+v", st)
+	}
+}
+
+// TestIncrementalNoLibrarian runs the incremental path without the
+// string librarian (code values cross as plain ropes): the recording,
+// matching and replay machinery must not depend on handle plumbing.
+func TestIncrementalNoLibrarian(t *testing.T) {
+	base := workload.Generate(workload.Tiny())
+	edited := editSameLen(t, base, "(gtotal - gtotal)", "(gtotal - gcount)")
+	pool := parallel.NewPool(parallel.PoolOptions{Workers: 4})
+	defer pool.Close()
+	ctx := context.Background()
+	opts := parallel.Options{Fragments: 4, UIDPreset: true}
+
+	if _, err := pool.Compile(ctx, pascalSrcJob(t, base), opts); err != nil {
+		t.Fatal(err)
+	}
+	editedJob := pascalSrcJob(t, edited)
+	res, err := pool.Compile(ctx, editedJob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartialHits < 1 {
+		t.Errorf("no-librarian edited compile replayed %d fragments, want >= 1", res.PartialHits)
+	}
+	if want := clusterProgram(t, editedJob, 4, false); res.Program != want {
+		t.Errorf("no-librarian incremental program differs from cluster reference")
+	}
+}
+
+// TestIncrementalConcurrentStress mixes base and edited compiles of
+// the same program concurrently on one pool (16 jobs, mixed whole-job
+// replay, incremental replay and live evaluation under -race): every
+// job's output must match its own single-job reference, proving the
+// mixed schedules never leak state across jobs.
+func TestIncrementalConcurrentStress(t *testing.T) {
+	base := workload.Generate(workload.Tiny())
+	variants := []string{
+		base,
+		editSameLen(t, base, "(gtotal - gtotal)", "(gtotal - gcount)"),
+		editSameLen(t, base, "(gcount - gcount)", "(gcount - gtotal)"),
+		editSameLen(t, base, "scale = 4", "scale = 7"),
+	}
+	opts := parallel.Options{Fragments: 4, Librarian: true, UIDPreset: true}
+	jobs := make([]cluster.Job, len(variants))
+	refs := make([]string, len(variants))
+	for i, src := range variants {
+		jobs[i] = pascalSrcJob(t, src)
+		refs[i] = clusterProgram(t, jobs[i], 4, true)
+	}
+
+	pool := parallel.NewPool(parallel.PoolOptions{Workers: 4})
+	defer pool.Close()
+	ctx := context.Background()
+	// Prime the cache with the base recording so the edited jobs race
+	// their incremental validation against concurrent base replays.
+	if _, err := pool.Compile(ctx, jobs[0], opts); err != nil {
+		t.Fatal(err)
+	}
+
+	const jobsN = 16
+	var wg sync.WaitGroup
+	errs := make([]error, jobsN)
+	got := make([]string, jobsN)
+	for i := 0; i < jobsN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := pool.Compile(ctx, jobs[i%len(jobs)], opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = res.Program
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < jobsN; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if got[i] != refs[i%len(refs)] {
+			t.Errorf("job %d (variant %d): program differs from reference", i, i%len(refs))
+		}
+	}
+}

@@ -138,6 +138,15 @@ type PoolStats struct {
 	CacheEntries  int   `json:"cache_entries"`
 	CacheBytes    int64 `json:"cache_bytes"`
 	CacheCapBytes int64 `json:"cache_cap_bytes"`
+
+	// Incremental (per-fragment) replay: fragments completed from a
+	// recording inside a whole-tree-miss job, jobs that committed at
+	// least one such replay, and replay candidates demoted to live
+	// evaluation (inbound mismatch, or speculation starvation at
+	// quiescence).
+	CachePartialHits int64 `json:"partial_hits"`
+	CachePartialJobs int64 `json:"partial_jobs"`
+	CacheDemoted     int64 `json:"partial_demotions"`
 }
 
 // NewPool starts the worker goroutines and returns the ready pool.
@@ -249,6 +258,9 @@ func (p *Pool) Stats() PoolStats {
 		st.CacheEntries = c.len()
 		st.CacheBytes = c.bytes.Load()
 		st.CacheCapBytes = c.max
+		st.CachePartialHits = c.partialHits.Load()
+		st.CachePartialJobs = c.partialJobs.Load()
+		st.CacheDemoted = c.demoted.Load()
 	}
 	return st
 }
@@ -375,15 +387,7 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	}
 	start := time.Now()
 
-	// Content-address the job before decomposition: the whole-tree hash
-	// is what makes per-fragment cache entries sound (every value a
-	// fragment receives from its neighbours is, by rule purity, a
-	// function of the whole tree plus the options in the key).
 	useCache := p.cache != nil && !opts.NoCache
-	var jobHash tree.Digest
-	if useCache {
-		jobHash = tree.Hash(job.Root)
-	}
 
 	// The parser side: clone and decompose, same policy as the cluster.
 	root := job.Root.Clone()
@@ -416,16 +420,23 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 		r.uidCount[cluster.AttrKey{Sym: k.Sym, Attr: k.Count}] = true
 	}
 	// Complete the content address now that the decomposition is known,
-	// and decide hit or miss for the whole job: either every fragment
-	// replays from one internally consistent recording, or every
-	// fragment evaluates and records (see cache.go for why mixing the
-	// two is unsound).
+	// and decide the job's cache schedule. A whole-tree hit replays
+	// every fragment from one internally consistent recording. On a
+	// whole-tree miss, each fragment is looked up by its own content
+	// address (fragKey): fragments with a recording become tentative
+	// incremental-replay candidates, validated against their actually
+	// received inbound values while edited/unknown fragments evaluate
+	// live (see cache.go). Only a fully cold job — no candidate
+	// anywhere — records: its fragments all belong to one run, which is
+	// what keeps both replay paths internally consistent.
 	var key cacheKey
+	var fragKeys []fragKey
+	var cands []*fragRecord
 	if useCache {
+		digs := decomp.Digests()
 		key = cacheKey{
 			g:          job.G,
-			jobHash:    jobHash,
-			fragsHash:  decomp.Hash(),
+			fragsHash:  tree.CombineDigests(digs),
 			frags:      decomp.NumFragments(),
 			width:      opts.Fragments,
 			gran:       gran,
@@ -434,10 +445,32 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 			uidPreset:  opts.UIDPreset,
 			noPriority: opts.NoPriority,
 		}
+		r.cache = p.cache
 		if e, ok := p.cache.get(key); ok && len(e.frags) == decomp.NumFragments() {
 			r.hit = e
+		} else {
+			fragKeys = make([]fragKey, len(decomp.Frags))
+			for i, f := range decomp.Frags {
+				fragKeys[i] = fragKey{
+					g:          job.G,
+					hash:       digs[i],
+					id:         f.ID,
+					parent:     f.Parent,
+					mode:       opts.Mode,
+					librarian:  opts.Librarian,
+					uidPreset:  opts.UIDPreset,
+					noPriority: opts.NoPriority,
+				}
+				if rec, ok := p.cache.lookupFrag(fragKeys[i]); ok {
+					if cands == nil {
+						cands = make([]*fragRecord, len(decomp.Frags))
+					}
+					cands[i] = rec
+				}
+			}
 		}
 	}
+	recording := useCache && r.hit == nil && cands == nil
 	for _, f := range decomp.Frags {
 		// queued is set here, while the job is still private to this
 		// goroutine: the moment the first fragment is pushed, workers
@@ -447,7 +480,9 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 		switch {
 		case r.hit != nil:
 			fr.entry = &r.hit.frags[f.ID]
-		case useCache:
+		case cands != nil:
+			fr.cand = cands[f.ID] // nil for edited/unknown fragments: they run live
+		case recording:
 			fr.rec = &fragRecord{}
 		}
 		r.frags = append(r.frags, fr)
@@ -472,6 +507,26 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	splitDone := time.Now()
 
 	<-r.quiet
+	// Speculation can starve itself: a wait-mode candidate's remaining
+	// inbound may only be producible by fragments that are themselves
+	// waiting (a waiting parent withholds the inherited attributes —
+	// the symbol table — that everything below it needs, while its own
+	// commit waits on its children's synthesized values). At
+	// quiescence, switch the topmost waiting candidate to run-ahead
+	// and let the job settle again; each round either completes the
+	// job or shrinks the waiting set, so this terminates. Run-ahead
+	// fragments evaluate and ship everything a live fragment would, so
+	// candidates below them keep matching — and the released fragment
+	// itself still commits (skipping its evaluation tail) if its full
+	// inbound set matches.
+	for r.failure() == nil && !r.cancelled.Load() && int(r.doneCnt.Load()) != len(r.frags) {
+		t := r.pickWaiting()
+		if t == nil {
+			break
+		}
+		r.runAheadAtQuiescence(t)
+		<-r.quiet
+	}
 	stopWatch()
 	evalDone := time.Now()
 
@@ -501,6 +556,16 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 			opts.Mode, opts.Workers, blocked)
 	}
 
+	// A run-ahead candidate that finished live without its full inbound
+	// set ever matching fell back to ordinary evaluation just like a
+	// mismatch demotion — settle it into the demotion counters so
+	// partial_hits + partial_demotions accounts for every candidate
+	// this job was offered.
+	for _, f := range r.frags {
+		if f.cand != nil {
+			r.demote(f)
+		}
+	}
 	res := &Result{
 		RootAttrs: r.rootAttrs,
 		Frags:     decomp.NumFragments(),
@@ -525,17 +590,31 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 		}
 	}
 	res.StoredStrings, res.StoredBytes = r.lib.Stored()
-	// Publish the recording of a clean cold run. By this point the code
-	// attribute has been spliced to plain text, so the recorded root
-	// attributes are librarian-free and safe to share across jobs; the
-	// per-fragment records carry everything else (deposited runs and
-	// outbound messages).
-	if useCache && r.hit == nil {
+	res.PartialHits = int(r.partial.Load())
+	res.Demoted = int(r.demotedCnt.Load())
+	if res.PartialHits > 0 {
+		p.cache.partialJobs.Add(1)
+	}
+	// Publish the recording of a clean fully cold run. By this point
+	// the code attribute has been spliced to plain text, so the
+	// recorded root attributes are librarian-free and safe to share
+	// across jobs; each per-fragment record carries everything else —
+	// deposited runs, outbound messages (with handle-bearing code
+	// values resolved to text for the incremental path), and the
+	// canonical inbound set that gates incremental reuse. Mixed
+	// replay/live runs publish nothing: their fragments' outputs do not
+	// all come from one run, which both replay paths rely on.
+	if recording {
 		entry := &cacheEntry{
 			frags:     make([]fragRecord, len(r.frags)),
+			fragKeys:  fragKeys,
 			rootAttrs: append([]ag.Value(nil), r.rootAttrs...),
 		}
 		for i, f := range r.frags {
+			r.finalizeRecord(f)
+			if i == 0 {
+				f.rec.rootAttrs = entry.rootAttrs
+			}
 			entry.frags[i] = *f.rec
 		}
 		p.cache.put(key, entry)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash"
+	"sync"
 )
 
 // Digest is a canonical structural content address of a subtree.
@@ -32,44 +33,116 @@ type Digest [sha256.Size]byte
 func Hash(n *Node) Digest {
 	h := newHasher()
 	h.node(n)
-	return h.sum()
+	d := h.sum()
+	h.release()
+	return d
 }
 
-// Hash returns one digest covering every fragment's post-cut subtree
-// in fragment order — the content address of the decomposition itself,
-// pinning both each fragment's shape and how the cuts were placed.
-func (d *Decomposition) Hash() Digest {
-	h := newHasher()
-	for _, f := range d.Frags {
-		dig := Hash(f.Root)
-		h.w.Write(dig[:]) //nolint:errcheck // hash.Hash never errors
+// Digests returns the content address of every fragment's post-cut
+// subtree, in fragment order. A fragment's digest covers its own
+// symbols, tokens and remote-leaf shape (including the fragment ids its
+// remote leaves point at), but nothing outside the fragment — so an
+// edit elsewhere in the tree leaves the digest unchanged as long as the
+// cut placement (and hence the fragment numbering) is stable. This is
+// the per-fragment half of the incremental cache key.
+func (d *Decomposition) Digests() []Digest {
+	out := make([]Digest, len(d.Frags))
+	for i, f := range d.Frags {
+		out[i] = Hash(f.Root)
 	}
-	return h.sum()
+	return out
 }
 
+// CombineDigests folds a digest sequence into one digest (order
+// matters: fragment 0's digest first). CombineDigests(d.Digests()) is
+// the content address of a whole decomposition — and, because the
+// fragments plus their remote-leaf structure reassemble into exactly
+// one tree, of the whole job tree; keeping the two steps separate
+// lets a caller address each fragment and the whole job while hashing
+// every subtree once.
+func CombineDigests(digs []Digest) Digest {
+	h := newHasher()
+	for i := range digs {
+		h.write(digs[i][:])
+	}
+	d := h.sum()
+	h.release()
+	return d
+}
+
+// hasher accumulates the canonical encoding in a local buffer and
+// feeds the SHA-256 state in large chunks: digests are computed on
+// every cache lookup's path, and a state update per 8-byte field costs
+// more than the hashing itself.
 type hasher struct {
 	w   hash.Hash
-	buf [8]byte
+	buf []byte
 }
 
-func newHasher() *hasher { return &hasher{w: sha256.New()} }
+const hasherChunk = 4096
+
+// hashers recycles hasher states: digests are computed per fragment on
+// every cache lookup, and the 4KiB batching buffer is the kind of
+// allocation that turns into GC pressure on a busy pool.
+var hashers = sync.Pool{New: func() any {
+	return &hasher{w: sha256.New(), buf: make([]byte, 0, hasherChunk)}
+}}
+
+func newHasher() *hasher {
+	h := hashers.Get().(*hasher)
+	h.w.Reset()
+	h.buf = h.buf[:0]
+	return h
+}
+
+func (h *hasher) release() { hashers.Put(h) }
+
+func (h *hasher) drain() {
+	if len(h.buf) > 0 {
+		h.w.Write(h.buf) //nolint:errcheck // hash.Hash never errors
+		h.buf = h.buf[:0]
+	}
+}
+
+func (h *hasher) room(n int) {
+	if len(h.buf)+n > cap(h.buf) {
+		h.drain()
+	}
+}
 
 func (h *hasher) byte(b byte) {
-	h.buf[0] = b
-	h.w.Write(h.buf[:1]) //nolint:errcheck // hash.Hash never errors
+	h.room(1)
+	h.buf = append(h.buf, b)
 }
 
 func (h *hasher) int(v int) {
-	binary.LittleEndian.PutUint64(h.buf[:], uint64(v))
-	h.w.Write(h.buf[:]) //nolint:errcheck // hash.Hash never errors
+	h.room(8)
+	h.buf = binary.LittleEndian.AppendUint64(h.buf, uint64(v))
 }
 
 func (h *hasher) string(s string) {
 	h.int(len(s))
-	h.w.Write([]byte(s)) //nolint:errcheck // hash.Hash never errors
+	if len(s) >= hasherChunk {
+		h.drain()
+		h.w.Write([]byte(s)) //nolint:errcheck // hash.Hash never errors
+		return
+	}
+	h.room(len(s))
+	h.buf = append(h.buf, s...)
+}
+
+func (h *hasher) write(p []byte) {
+	if len(p) >= hasherChunk {
+		h.drain()
+		h.w.Write(p) //nolint:errcheck // hash.Hash never errors
+		return
+	}
+	h.room(len(p))
+	h.buf = append(h.buf, p...)
 }
 
 func (h *hasher) sum() Digest {
+	h.drain()
 	var d Digest
 	h.w.Sum(d[:0])
 	return d
@@ -91,10 +164,33 @@ func (h *hasher) node(n *Node) {
 		h.string(n.Token)
 		h.int(len(n.Attrs))
 		for _, v := range n.Attrs {
-			// Length-prefixed, not separator-joined: a formatted value
-			// may contain any byte, so only the prefix keeps adjacent
-			// values from sliding into each other and colliding.
-			h.string(fmt.Sprint(v))
+			// Kind-tagged, and length-prefixed where the value is
+			// formatted: a formatted value may contain any byte, so only
+			// the prefix keeps adjacent values from sliding into each
+			// other and colliding. The typed branches cover the scalar
+			// attribute values scanners actually produce — hashing is on
+			// every cache lookup's path, and fmt boxing there is real
+			// cost, not just untidiness.
+			switch x := v.(type) {
+			case nil:
+				h.byte('n')
+			case int:
+				h.byte('i')
+				h.int(x)
+			case bool:
+				h.byte('b')
+				if x {
+					h.byte(1)
+				} else {
+					h.byte(0)
+				}
+			case string:
+				h.byte('s')
+				h.string(x)
+			default:
+				h.byte('?')
+				h.string(fmt.Sprint(x))
+			}
 		}
 	default:
 		h.byte(tagInterior)

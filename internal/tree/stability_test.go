@@ -1,0 +1,109 @@
+package tree_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pag/internal/pascal"
+	"pag/internal/tree"
+	"pag/internal/workload"
+)
+
+// fragTokens linearizes one fragment's terminal tokens and remote-leaf
+// ids — a decomposition-shape-aware identity that is independent of
+// the hash under test, used as the ground truth for which fragments an
+// edit touched.
+func fragTokens(f *tree.Node) string {
+	var b strings.Builder
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		switch {
+		case n.Remote:
+			fmt.Fprintf(&b, "<R%d>", n.RemoteID)
+		case n.Sym.Terminal:
+			b.WriteString(n.Token)
+			b.WriteByte(' ')
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(f)
+	return b.String()
+}
+
+// TestFragmentHashStableUnderOutsideEdit is the re-split stability
+// property the incremental cache key relies on: editing the source
+// OUTSIDE a fragment yields an identical post-cut hash for that
+// fragment, across every decomposition width at which the cut
+// placement is stable (same fragment count, same parent links, same
+// token content per fragment). Equally important is the converse:
+// exactly the fragments whose token content changed must change hash.
+func TestFragmentHashStableUnderOutsideEdit(t *testing.T) {
+	base := workload.Generate(workload.Tiny())
+	edits := []struct{ name, old, new string }{
+		// Same-length token swaps, so granularity and cut placement
+		// cannot move: one in the main statement list, one inside a
+		// function body, one in a string constant.
+		{"main-operand", "(gtotal - gtotal)", "(gtotal - gcount)"},
+		{"func-body", "(p0 - 6)", "(p0 - 7)"},
+		{"string-const", "'total '", "'tutal '"},
+	}
+	l := pascal.MustNew()
+	baseJob, err := l.ClusterJob(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edits {
+		t.Run(e.name, func(t *testing.T) {
+			edited := strings.Replace(base, e.old, e.new, 1)
+			if edited == base {
+				t.Fatalf("edit target %q not in source", e.old)
+			}
+			editedJob, err := l.ClusterJob(edited)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for width := 2; width <= 8; width++ {
+				a := baseJob.Root.Clone()
+				b := editedJob.Root.Clone()
+				da := tree.Decompose(a, tree.GranularityFor(a, width), width)
+				db := tree.Decompose(b, tree.GranularityFor(b, width), width)
+				if da.NumFragments() != db.NumFragments() {
+					continue // cut placement not stable at this width; no claim
+				}
+				stable := true
+				for i := range da.Frags {
+					if da.Frags[i].Parent != db.Frags[i].Parent {
+						stable = false
+						break
+					}
+				}
+				if !stable {
+					continue
+				}
+				ha, hb := da.Digests(), db.Digests()
+				changed := 0
+				for i := range da.Frags {
+					same := fragTokens(da.Frags[i].Root) == fragTokens(db.Frags[i].Root)
+					if same && ha[i] != hb[i] {
+						t.Errorf("width %d: fragment %d untouched by edit but hash changed", width, i)
+					}
+					if !same {
+						changed++
+						if ha[i] == hb[i] {
+							t.Errorf("width %d: fragment %d edited but hash unchanged", width, i)
+						}
+					}
+				}
+				if changed == 0 {
+					t.Errorf("width %d: edit %s touched no fragment — bad test setup", width, e.name)
+				}
+				if changed == da.NumFragments() && da.NumFragments() > 1 {
+					t.Errorf("width %d: edit %s touched every fragment — nothing left to reuse", width, e.name)
+				}
+			}
+		})
+	}
+}

@@ -153,14 +153,19 @@ type (
 	// serving many concurrent compile jobs, each isolated in its own
 	// fragment set and librarian handle namespace, with a
 	// content-addressed fragment cache replaying recompilations of
-	// identical sources without re-evaluating any attributes.
+	// identical sources without re-evaluating any attributes — and,
+	// incrementally, replaying the unaffected fragments of EDITED
+	// sources (each fragment's recording is validated against the
+	// inbound attribute values it actually receives, so inherited
+	// inputs that changed demote it to live evaluation instead).
 	Pool = parallel.Pool
 	// PoolOptions configures a Pool: workers, max in-flight jobs, the
 	// admission-queue depth and the fragment-cache byte budget
 	// (CacheBytes; 0 = DefaultCacheBytes, negative disables caching).
 	PoolOptions = parallel.PoolOptions
 	// PoolStats is a snapshot of a Pool's activity, including fragment
-	// cache hit/miss/eviction counters.
+	// cache hit/miss/eviction counters and the incremental-replay
+	// counters (partial hits, partial jobs, demotions).
 	PoolStats = parallel.PoolStats
 )
 
