@@ -9,8 +9,11 @@ package pag_test
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"pag/internal/ag"
 	"pag/internal/arena"
@@ -274,6 +277,98 @@ func BenchmarkIncremental(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(partial)/float64(b.N), "partial/op")
 	})
+}
+
+// BenchmarkSustainedLoad drives one pool the way a busy pagd sees it:
+// 32 submitter goroutines pushing a mixed stream of jobs — half warm
+// cache hits, a quarter incremental edits, a quarter forced-cold
+// compiles — across rotating client identities and both priority
+// classes, through a MaxInFlight bound tighter than the offered
+// concurrency so the admission queue is genuinely exercised. ns/op is
+// sustained per-job service time (throughput's reciprocal); p50_ms and
+// p99_ms report the client-observed latency distribution, the number
+// an operator actually watches. Tracked by the benchstat regression
+// gate.
+func BenchmarkSustainedLoad(b *testing.B) {
+	lang := pascal.MustNew()
+	base := workload.Generate(workload.Tiny())
+	const oldTok, newTok = "'total '", "'tutal '"
+	edited := strings.Replace(base, oldTok, newTok, 1)
+	if edited == base {
+		b.Fatalf("edit target %q not found in the tiny workload", oldTok)
+	}
+	baseJob, err := lang.ClusterJob(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	editedJob, err := lang.ClusterJob(edited)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultParallelOptions()
+	opts.Workers = 4
+	opts.Fragments = 6
+
+	pool := parallel.NewPool(parallel.PoolOptions{Workers: 4, MaxInFlight: 8, QueueDepth: 64})
+	defer pool.Close()
+	ctx := context.Background()
+	if _, err := pool.Compile(ctx, baseJob, opts); err != nil {
+		b.Fatal(err) // prime the cache so the warm mix is actually warm
+	}
+
+	const submitters = 32
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, b.N)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, b.N/submitters+1)
+			for i := range jobs {
+				o := opts
+				o.Client = fmt.Sprintf("client-%d", i%5)
+				if i%3 == 0 {
+					o.Priority = parallel.PriorityLow
+				}
+				job := baseJob
+				switch i % 4 {
+				case 2:
+					job = editedJob // incremental replay
+				case 3:
+					o.NoCache = true // forced cold compile
+				}
+				start := time.Now()
+				if _, err := pool.Compile(ctx, job, o); err != nil {
+					b.Error(err)
+					return
+				}
+				local = append(local, time.Since(start))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	b.StopTimer()
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	b.ReportMetric(q(0.50), "p50_ms")
+	b.ReportMetric(q(0.99), "p99_ms")
 }
 
 // BenchmarkT3Sequential compares the sequential evaluators (CPU time

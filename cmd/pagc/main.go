@@ -61,12 +61,14 @@ func main() {
 	series := flag.Bool("series", false, "batch mode: compile the files sequentially as successive versions of one program (edit series; unchanged fragments replay incrementally)")
 	workers := flag.Int("workers", 0, "batch mode: pool worker goroutines (0 = all CPUs)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "batch mode: fragment cache budget in bytes (0 = default, <0 = disable)")
+	priority := flag.String("priority", "", `batch mode: admission class of the jobs ("high" or "low"; "" = high)`)
 	flag.Parse()
 
 	cfg := config{
 		machines: *machines, modeName: *mode, gran: *gran,
 		noLib: *noLib, chain: *chain, gantt: *gantt, asm: *asm, quiet: *quiet,
 		wl: *wl, dump: *dump, batch: *batch, series: *series, workers: *workers, cacheBytes: *cacheBytes,
+		priority: *priority,
 	}
 	if err := run(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pagc:", err)
@@ -89,6 +91,7 @@ type config struct {
 	series     bool
 	workers    int
 	cacheBytes int64
+	priority   string
 }
 
 func run(out io.Writer, cfg config, args []string) error {
@@ -122,6 +125,9 @@ func run(out io.Writer, cfg config, args []string) error {
 	}
 	if cfg.cacheBytes != 0 {
 		return fmt.Errorf("-cache-bytes configures the -batch pool's fragment cache; the simulator has none")
+	}
+	if cfg.priority != "" {
+		return fmt.Errorf("-priority classes order admission on the -batch pool; the simulator runs one job")
 	}
 
 	var src string
@@ -232,6 +238,10 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 	if err != nil {
 		return err
 	}
+	prio, err := parallel.ParsePriority(cfg.priority)
+	if err != nil {
+		return err
+	}
 	l := pascal.MustNew()
 	// Every file is submitted at once, so size the admission queue to
 	// the batch: the point of the bounded queue is to protect a
@@ -244,6 +254,7 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 		Granularity: cfg.gran,
 		Librarian:   !cfg.noLib,
 		UIDPreset:   !cfg.chain,
+		Priority:    prio,
 	}
 	results := make([]batchResult, len(args))
 

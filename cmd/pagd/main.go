@@ -4,7 +4,8 @@
 // compilations are farmed out to, instead of a machine room assembled
 // per compilation.
 //
-//	pagd -addr :8642 -workers 8 -max-inflight 16 -queue 64 -cache-bytes 67108864
+//	pagd -addr :8642 -workers 8 -max-inflight 16 -queue 64 -cache-bytes 67108864 \
+//	     -quota 8 -max-timeout 30s -debug-addr localhost:8643
 //
 // Endpoints:
 //
@@ -20,27 +21,46 @@
 //	                `pagc -q -S`. With ?nocache=1 the request bypasses
 //	                the pool's fragment cache.
 //	GET  /healthz   liveness probe ("ok").
-//	GET  /stats     pool statistics as JSON (in-flight, queued, done,
-//	                fragment-cache hits/misses/evictions/bytes).
+//	GET  /metrics   Prometheus text exposition (counters, gauges and
+//	                latency histograms; see parallel.WritePrometheus).
+//	GET  /stats     the same snapshot as JSON (in-flight, queue depths,
+//	                rejections, cache counters, histograms).
+//
+// Every compile request is assigned a job ID, returned in the
+// X-Pag-Job-Id response header and the stream events, and carried
+// through the structured (JSON, log/slog) request log. Clients
+// identify themselves with the X-Pag-Client header (falling back to
+// the peer address) for per-client admission quotas (-quota), and may
+// mark batch traffic with the priority header (-priority-header,
+// default X-Pag-Priority: "high" or "low"). -max-timeout is the
+// server-side bound on per-job deadlines: client timeouts are capped
+// to it, and requests without one get it as their default. -debug-addr
+// starts an optional second listener serving net/http/pprof, kept off
+// the service port so profiling endpoints are never exposed by accident.
 //
 // Overload degrades honestly: jobs beyond the max-in-flight bound wait
-// in the bounded admission queue, and beyond that the service answers
-// 503 instead of accumulating unbounded state. Failure stays scoped to
-// the job that caused it: evaluation panics and librarian handle-range
-// exhaustion are contained per job by the pool's workers, and an HTTP
-// recovery middleware answers 500 for anything that still escapes a
-// handler, so one malformed request never takes the daemon down.
+// in the bounded admission queue, beyond that the service answers 503,
+// and over-quota clients get 429 instead of crowding everyone else
+// out. Failure stays scoped to the job that caused it: evaluation
+// panics and librarian handle-range exhaustion are contained per job
+// by the pool's workers, and an HTTP recovery middleware answers 500
+// for anything that still escapes a handler, so one malformed request
+// never takes the daemon down.
 package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,16 +73,35 @@ import (
 	"pag/internal/workload"
 )
 
+// defaultPriorityHeader carries the job's admission class when the
+// -priority-header flag is not overridden.
+const defaultPriorityHeader = "X-Pag-Priority"
+
 func main() {
 	addr := flag.String("addr", ":8642", "listen address")
 	workers := flag.Int("workers", 0, "pool worker goroutines (0 = all CPUs)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluating jobs (0 = worker count)")
 	queue := flag.Int("queue", 0, "admission queue depth beyond max-inflight (0 = default, <0 = none)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "fragment cache budget in bytes (0 = default, <0 = disable)")
+	quota := flag.Int("quota", 0, "per-client bound on jobs admitted or waiting (0 = unlimited)")
+	priorityHeader := flag.String("priority-header", defaultPriorityHeader, `request header carrying the job priority ("high" or "low")`)
+	maxTimeout := flag.Duration("max-timeout", 0, "server-side job deadline: caps client timeout_ms and applies to requests without one (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (empty = disabled)")
 	flag.Parse()
 
-	s := newServer(parallel.PoolOptions{Workers: *workers, MaxInFlight: *maxInFlight, QueueDepth: *queue, CacheBytes: *cacheBytes})
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	s := newServer(parallel.PoolOptions{
+		Workers: *workers, MaxInFlight: *maxInFlight, QueueDepth: *queue,
+		CacheBytes: *cacheBytes, ClientQuota: *quota,
+	})
+	s.log = logger
+	s.priorityHeader = *priorityHeader
+	s.maxTimeout = *maxTimeout
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -70,18 +109,36 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("pagd: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain before pool close
 		s.pool.Close()
 	}()
 
-	log.Printf("pagd: serving on %s with %d worker(s)", *addr, s.pool.Workers())
+	logger.Info("serving", "addr", *addr, "workers", s.pool.Workers(),
+		"quota", *quota, "max_timeout", maxTimeout.String())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("pagd: %v", err)
+		logger.Error("listen failed", "error", err.Error())
+		os.Exit(1)
 	}
 	<-done
+}
+
+// serveDebug runs the opt-in profiling listener. The handlers are
+// registered on a private mux (not http.DefaultServeMux) so the only
+// thing this port serves is pprof.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("debug listener serving pprof", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug listener failed", "error", err.Error())
+	}
 }
 
 // server is the HTTP face of one compile pool. It is a separate type
@@ -89,10 +146,21 @@ func main() {
 type server struct {
 	pool *parallel.Pool
 	lang *pascal.Lang
+	log  *slog.Logger
+	// priorityHeader names the request header carrying the admission
+	// class; maxTimeout, when positive, caps client-supplied job
+	// timeouts and is the default for requests without one.
+	priorityHeader string
+	maxTimeout     time.Duration
 }
 
 func newServer(opts parallel.PoolOptions) *server {
-	return &server{pool: parallel.NewPool(opts), lang: pascal.MustNew()}
+	return &server{
+		pool:           parallel.NewPool(opts),
+		lang:           pascal.MustNew(),
+		log:            slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		priorityHeader: defaultPriorityHeader,
+	}
 }
 
 func (s *server) routes() http.Handler {
@@ -101,11 +169,60 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.pool.Metrics().WritePrometheus(w) //nolint:errcheck // best-effort scrape
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.pool.Stats()) //nolint:errcheck // best-effort stats
+		json.NewEncoder(w).Encode(s.pool.Metrics()) //nolint:errcheck // best-effort stats
 	})
-	return recoverPanics(mux)
+	return s.logRequests(recoverPanics(mux))
+}
+
+// logRequests emits one structured log line per request (except the
+// liveness probe, which would drown everything else at typical check
+// intervals).
+func (s *server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.code,
+			"bytes", sw.bytes, "dur_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"job_id", sw.Header().Get("X-Pag-Job-Id"))
+	})
+}
+
+// statusWriter records the response status and size for the request
+// log, forwarding Flush so the streaming compile mode keeps streaming
+// through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // recoverPanics is the last line of defense against a handler panic
@@ -119,7 +236,7 @@ func recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				log.Printf("pagd: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				slog.Error("panic serving request", "method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(p))
 				http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
 			}
 		}()
@@ -142,14 +259,18 @@ type compileRequest struct {
 	// pagc's -nolibrarian and -uidchain.
 	NoLibrarian bool `json:"no_librarian,omitempty"`
 	UIDChain    bool `json:"uid_chain,omitempty"`
-	// TimeoutMs bounds the job; 0 means no extra bound beyond the
-	// request context.
+	// TimeoutMs bounds the job. The daemon's -max-timeout caps it and
+	// stands in for it when absent; 0 with no -max-timeout means no
+	// bound beyond the request context.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 // event is one JSON line of the default streaming response.
 type event struct {
-	Status   string   `json:"status"` // queued, done, error
+	Status string `json:"status"` // queued, done, error
+	// JobID is the server-assigned request identity, the same value as
+	// the X-Pag-Job-Id response header and the request log.
+	JobID    string   `json:"job_id,omitempty"`
 	Error    string   `json:"error,omitempty"`
 	Errors   []string `json:"errors,omitempty"` // semantic errors
 	Frags    int      `json:"frags,omitempty"`
@@ -168,6 +289,8 @@ type event struct {
 // plain-text (?format=asm) response mode.
 func httpStatusFor(err error) int {
 	switch {
+	case errors.Is(err, parallel.ErrQuotaExceeded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, parallel.ErrOverloaded), errors.Is(err, parallel.ErrPoolClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
@@ -179,7 +302,30 @@ func httpStatusFor(err error) int {
 	}
 }
 
+// newJobID mints a request identity: 8 random bytes, hex.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// clientID resolves the quota identity of a request: the X-Pag-Client
+// header if the client names itself, the peer host otherwise.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Pag-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	jobID := newJobID()
+	w.Header().Set("X-Pag-Job-Id", jobID)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -195,6 +341,13 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	prio, err := parallel.ParsePriority(r.Header.Get(s.priorityHeader))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	opts.Priority = prio
+	opts.Client = clientID(r)
 	// ?nocache=1 opts this one request out of the fragment cache (for
 	// benchmarking against a cold compile, or distrust of a cached
 	// result); anything else, including absence, uses the cache.
@@ -203,17 +356,34 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
-	if req.TimeoutMs > 0 {
+	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+	if s.maxTimeout > 0 && (timeout == 0 || timeout > s.maxTimeout) {
+		timeout = s.maxTimeout
+	}
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 
+	start := time.Now()
+	var res *parallel.Result
 	if r.URL.Query().Get("format") == "asm" {
-		s.compileASM(ctx, w, src, opts)
+		res, err = s.compileASM(ctx, w, src, opts)
+	} else {
+		res, err = s.compileStream(ctx, w, jobID, src, opts)
+	}
+	attrs := []any{
+		"job_id", jobID, "client", opts.Client, "priority", prio.String(),
+		"wall_ms", float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if err != nil {
+		s.log.Error("compile failed", append(attrs, "error", err.Error())...)
 		return
 	}
-	s.compileStream(ctx, w, src, opts)
+	s.log.Info("compile done", append(attrs,
+		"frags", res.Frags, "partial_hits", res.PartialHits,
+		"assembly_bytes", len(res.Program))...)
 }
 
 // jobSpec validates the request and resolves source text and runtime
@@ -274,23 +444,25 @@ func (e *semanticError) Error() string {
 
 // compileASM is the plain-text response mode: the body is exactly the
 // assembly `pagc -q -S` prints for the same job.
-func (s *server) compileASM(ctx context.Context, w http.ResponseWriter, src string, opts parallel.Options) {
+func (s *server) compileASM(ctx context.Context, w http.ResponseWriter, src string, opts parallel.Options) (*parallel.Result, error) {
 	res, err := s.compile(ctx, src, opts)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatusFor(err))
-		return
+		return nil, err
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, res.Program)
+	return res, nil
 }
 
 // compileStream is the default response mode: JSON lines, one event
 // per state change, flushed as they happen so a slow compile streams
 // status before the assembly arrives.
-func (s *server) compileStream(ctx context.Context, w http.ResponseWriter, src string, opts parallel.Options) {
+func (s *server) compileStream(ctx context.Context, w http.ResponseWriter, jobID, src string, opts parallel.Options) (*parallel.Result, error) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	emit := func(e event) {
+		e.JobID = jobID
 		enc.Encode(e) //nolint:errcheck // a dead client aborts via ctx
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
@@ -302,10 +474,10 @@ func (s *server) compileStream(ctx context.Context, w http.ResponseWriter, src s
 		var sem *semanticError
 		if errors.As(err, &sem) {
 			emit(event{Status: "error", Error: err.Error(), Errors: sem.errs})
-			return
+			return nil, err
 		}
 		emit(event{Status: "error", Error: err.Error()})
-		return
+		return nil, err
 	}
 	emit(event{
 		Status:        "done",
@@ -318,4 +490,5 @@ func (s *server) compileStream(ctx context.Context, w http.ResponseWriter, src s
 		AssemblyBytes: len(res.Program),
 		Assembly:      res.Program,
 	})
+	return res, nil
 }

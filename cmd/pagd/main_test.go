@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pag/internal/cluster"
 	"pag/internal/parallel"
@@ -278,6 +279,140 @@ func TestHandleExhaustionOverHTTP(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("daemon unhealthy after exhausted job: status %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus scrape surface: after one
+// compile, /metrics serves text exposition format carrying the job
+// counter, the cache counters and the latency histograms.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/compile?format=asm", "application/json",
+		strings.NewReader(`{"workload":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q, want text exposition format 0.0.4", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE pag_jobs_total counter",
+		`pag_jobs_total{outcome="done"} 1`,
+		"pag_cache_misses_total 1",
+		"pag_queue_wait_seconds_count 1",
+		`pag_phase_seconds_bucket{phase="eval",le="+Inf"} 1`,
+		"pag_job_wall_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestPriorityHeaderAndJobID checks the request-identity surface: an
+// unknown priority is a 400, a valid one is accepted, and the
+// server-minted job ID appears in the response header and in every
+// stream event.
+func TestPriorityHeaderAndJobID(t *testing.T) {
+	_, ts := testServer(t)
+	req, err := http.NewRequest("POST", ts.URL+"/compile",
+		strings.NewReader(`{"workload":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Pag-Priority", "psychic")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown priority answered %d, want 400", resp.StatusCode)
+	}
+
+	req, err = http.NewRequest("POST", ts.URL+"/compile",
+		strings.NewReader(`{"workload":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Pag-Priority", "low")
+	req.Header.Set("X-Pag-Client", "tester")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	jobID := resp.Header.Get("X-Pag-Job-Id")
+	if len(jobID) != 16 {
+		t.Fatalf("X-Pag-Job-Id = %q, want 16 hex chars", jobID)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	events := 0
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events++
+		if e.JobID != jobID {
+			t.Errorf("event %d carries job_id %q, want %q", events, e.JobID, jobID)
+		}
+	}
+	if events == 0 {
+		t.Fatal("no stream events")
+	}
+}
+
+// TestMaxTimeoutBound is the server-side deadline fix: with
+// -max-timeout set, a request WITHOUT a client timeout is still
+// bounded (it used to run forever), and a client timeout larger than
+// the bound is capped to it. An unreachably small bound makes both
+// deterministic 504s.
+func TestMaxTimeoutBound(t *testing.T) {
+	s := newServer(parallel.PoolOptions{Workers: 2, MaxInFlight: 4})
+	s.maxTimeout = time.Nanosecond
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		s.pool.Close()
+	})
+	for name, body := range map[string]string{
+		"no client timeout":  `{"workload":"tiny"}`,
+		"oversized timeout":  `{"workload":"tiny","timeout_ms":60000}`,
+		"undersized timeout": `{"workload":"tiny","timeout_ms":1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/compile?format=asm", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("%s: status %d (%s), want 504", name, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestHTTPStatusForQuota pins the over-quota mapping: 429, not 503.
+func TestHTTPStatusForQuota(t *testing.T) {
+	err := fmt.Errorf("wrapped: %w", &parallel.QuotaError{Client: "c", Limit: 1})
+	if got := httpStatusFor(err); got != http.StatusTooManyRequests {
+		t.Errorf("quota rejection maps to %d, want 429", got)
 	}
 }
 

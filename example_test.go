@@ -21,9 +21,9 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := pag.Compile(
+	res, err := pag.CompileSim(
 		pag.Job{G: lang.G, A: analysis, Root: root, Lex: lang.TerminalAttrs},
-		pag.Options{Machines: 3, Mode: pag.Combined},
+		pag.SimOptions{Machines: 3, Mode: pag.Combined},
 	)
 	if err != nil {
 		log.Fatal(err)

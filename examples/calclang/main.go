@@ -38,9 +38,9 @@ func main() {
 
 	fmt.Println("machines   dynamic    combined   dyn-graph-edges  comb-dynamic-attrs")
 	for m := 1; m <= 5; m++ {
-		row := map[pag.Mode]*pag.Result{}
+		row := map[pag.Mode]*pag.SimResult{}
 		for _, mode := range []pag.Mode{pag.Dynamic, pag.Combined} {
-			res, err := pag.Compile(job, pag.Options{Machines: m, Mode: mode})
+			res, err := pag.CompileSim(job, pag.SimOptions{Machines: m, Mode: mode})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -55,11 +55,11 @@ func main() {
 	}
 
 	// Verify both strategies agree on the value.
-	a, err := pag.Compile(job, pag.Options{Machines: 4, Mode: pag.Dynamic})
+	a, err := pag.CompileSim(job, pag.SimOptions{Machines: 4, Mode: pag.Dynamic})
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := pag.Compile(job, pag.Options{Machines: 4, Mode: pag.Combined})
+	b, err := pag.CompileSim(job, pag.SimOptions{Machines: 4, Mode: pag.Combined})
 	if err != nil {
 		log.Fatal(err)
 	}

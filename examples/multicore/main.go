@@ -1,6 +1,6 @@
 // Command multicore demonstrates the two parallel runtimes side by
 // side on the paper's Pascal workload: the simulated 1987 cluster
-// (pag.Compile, virtual time on SUN-2-class machines) and the real
+// (pag.CompileSim, virtual time on SUN-2-class machines) and the real
 // shared-memory runtime (pag.CompileParallel, wall-clock time on this
 // machine's cores). Both produce byte-identical generated code.
 package main
@@ -33,7 +33,7 @@ func run() error {
 		len(src), job.Root.Count())
 
 	const machines = 4
-	sim, err := pag.Compile(job, pag.Options{
+	sim, err := pag.CompileSim(job, pag.SimOptions{
 		Machines: machines, Mode: pag.Combined, Librarian: true, UIDPreset: true,
 	})
 	if err != nil {
@@ -43,7 +43,7 @@ func run() error {
 		machines, sim.EvalTime.Seconds(), sim.Frags)
 
 	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
-		real, err := pag.CompileParallel(job, pag.ParallelOptions{
+		real, err := pag.CompileParallel(job, pag.Options{
 			Workers: workers, Fragments: machines, Librarian: true, UIDPreset: true,
 		})
 		if err != nil {

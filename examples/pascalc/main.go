@@ -29,15 +29,15 @@ func main() {
 	}
 
 	fmt.Println("machines   dynamic    combined    (simulated 1987 running time)")
-	var best *pag.Result
+	var best *pag.SimResult
 	bestMachines := 0
 	for m := 1; m <= 6; m++ {
-		times := map[pag.Mode]*pag.Result{}
+		times := map[pag.Mode]*pag.SimResult{}
 		for _, mode := range []pag.Mode{pag.Dynamic, pag.Combined} {
 			opts := experiments.DefaultOptions()
 			opts.Machines = m
 			opts.Mode = mode
-			res, err := pag.Compile(job, opts)
+			res, err := pag.CompileSim(job, opts)
 			if err != nil {
 				log.Fatal(err)
 			}

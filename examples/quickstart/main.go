@@ -59,12 +59,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := pag.Compile(pag.Job{
+	res, err := pag.CompileSim(pag.Job{
 		G:    lang.G,
 		A:    analysis,
 		Root: rootBig,
 		Lex:  lang.TerminalAttrs,
-	}, pag.Options{Machines: 3, Mode: pag.Combined})
+	}, pag.SimOptions{Machines: 3, Mode: pag.Combined})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -201,8 +201,8 @@ func main() {
 	}
 
 	root := f.parse(src.String())
-	res, err := pag.Compile(pag.Job{G: f.g, A: f.a, Root: root, Lex: f.lex},
-		pag.Options{Machines: 4, Mode: pag.Combined})
+	res, err := pag.CompileSim(pag.Job{G: f.g, A: f.a, Root: root, Lex: f.lex},
+		pag.SimOptions{Machines: 4, Mode: pag.Combined})
 	if err != nil {
 		log.Fatal(err)
 	}

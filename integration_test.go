@@ -212,8 +212,8 @@ func minI(a, b int) int {
 
 // TestFacadeParallelRuntimeMatchesSimulator drives the public facade:
 // pag.CompileParallel (real goroutines) must produce exactly the
-// program pag.Compile (simulated cluster) produces, and that program
-// must still assemble to VAX machine code.
+// program pag.CompileSim (simulated cluster) produces, and that
+// program must still assemble to VAX machine code.
 func TestFacadeParallelRuntimeMatchesSimulator(t *testing.T) {
 	l := pascal.MustNew()
 	job, err := l.ClusterJob(workload.Generate(workload.Small()))
@@ -221,13 +221,13 @@ func TestFacadeParallelRuntimeMatchesSimulator(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 4
-	sim, err := pag.Compile(job, pag.Options{
+	sim, err := pag.CompileSim(job, pag.SimOptions{
 		Machines: n, Mode: pag.Combined, Librarian: true, UIDPreset: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	real, err := pag.CompileParallel(job, pag.ParallelOptions{
+	real, err := pag.CompileParallel(job, pag.Options{
 		Workers: n, Librarian: true, UIDPreset: true,
 	})
 	if err != nil {

@@ -88,6 +88,14 @@ type Options struct {
 	// pool whose cache is disabled (PoolOptions.CacheBytes < 0) behave
 	// as if NoCache were always set.
 	NoCache bool
+	// Client identifies the submitting client for per-client quota
+	// accounting (PoolOptions.ClientQuota); the empty string is one
+	// anonymous client. It has no effect on a pool without quotas.
+	Client string
+	// Priority is the job's admission class (default PriorityHigh).
+	// When the pool is saturated, capacity freed by a finishing job
+	// goes to waiting high-priority jobs before any low-priority one.
+	Priority Priority
 }
 
 // Result is the outcome of a parallel compilation.

@@ -36,6 +36,12 @@ type PoolOptions struct {
 	// caching entirely. Per-job, Options.NoCache opts a single compile
 	// out.
 	CacheBytes int64
+	// ClientQuota bounds the jobs one client (Options.Client) may have
+	// admitted or waiting at once; further submissions fail fast with
+	// an error wrapping ErrQuotaExceeded. 0 disables quotas. The quota
+	// is what keeps one greedy client from monopolizing the admission
+	// queue of a shared daemon.
+	ClientQuota int
 }
 
 // DefaultQueueDepth is the admission-queue bound used when
@@ -86,14 +92,16 @@ type Pool struct {
 	sched *sched
 	wg    sync.WaitGroup
 
-	// Admission control: admit holds one token per in-flight job;
-	// queued counts jobs admitted or waiting, bounded by
-	// maxInFlight+queueDepth. Close drains admit completely, so holding
-	// a token also guarantees the workers are alive.
-	admit   chan struct{}
-	queued  atomic.Int64
+	// Admission control: adm bounds in-flight jobs at maxInFlight with
+	// a two-priority-class bounded wait queue and per-client quotas
+	// beyond it; closeCh wakes queued waiters when the pool closes.
+	adm     *admission
 	closed  atomic.Bool
 	closeCh chan struct{}
+
+	// m holds the admission-rejection counters and latency histograms
+	// (queue wait, per-phase, wall); snapshot everything with Metrics.
+	m poolMetrics
 
 	// analyses caches one OAG analysis per grammar. The analysis (and
 	// the compiled per-production visit plans inside it) is immutable
@@ -126,8 +134,11 @@ type PoolStats struct {
 	Workers     int   `json:"workers"`
 	MaxInFlight int   `json:"max_in_flight"`
 	QueueDepth  int   `json:"queue_depth"`
+	ClientQuota int   `json:"client_quota"`
 	InFlight    int   `json:"in_flight"`
 	Waiting     int   `json:"waiting"`
+	WaitingHigh int   `json:"waiting_high"`
+	WaitingLow  int   `json:"waiting_low"`
 	Done        int64 `json:"jobs_done"`
 	Failed      int64 `json:"jobs_failed"`
 	Cancelled   int64 `json:"jobs_cancelled"`
@@ -176,7 +187,7 @@ func NewPool(opts PoolOptions) *Pool {
 		maxInFlight: opts.MaxInFlight,
 		queueDepth:  depth,
 		sched:       newSched(opts.Workers),
-		admit:       make(chan struct{}, opts.MaxInFlight),
+		adm:         newAdmission(opts.MaxInFlight, depth, opts.ClientQuota),
 		closeCh:     make(chan struct{}),
 	}
 	if cacheBytes > 0 {
@@ -215,38 +226,28 @@ func (p *Pool) Close() {
 	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// Flip the admission controller into rejection mode before waking
+	// queued waiters, so none of them can re-enter; then wait until the
+	// last admitted job releases its slot.
+	p.adm.close()
 	close(p.closeCh)
-	// Acquire every admission token: once we hold all of them, no job
-	// is in flight and none can start (acquire re-checks closed after
-	// winning a token).
-	for i := 0; i < cap(p.admit); i++ {
-		p.admit <- struct{}{}
-	}
+	p.adm.drain()
 	p.sched.shutdown()
 	p.wg.Wait()
 }
 
 // Stats returns a snapshot of the pool's activity counters.
 func (p *Pool) Stats() PoolStats {
-	// queued counts real jobs (admitted or waiting); the admit channel
-	// additionally holds Close's drain tokens, which are not jobs —
-	// taking the min keeps the snapshot honest both in steady state
-	// (len(admit) <= queued) and while a Close drains (queued is the
-	// jobs still finishing).
-	inFlight := len(p.admit)
-	if q := int(p.queued.Load()); q < inFlight {
-		inFlight = q
-	}
-	waiting := int(p.queued.Load()) - inFlight
-	if waiting < 0 {
-		waiting = 0
-	}
+	inFlight, waitHigh, waitLow := p.adm.counts()
 	st := PoolStats{
 		Workers:     p.workers,
 		MaxInFlight: p.maxInFlight,
 		QueueDepth:  p.queueDepth,
+		ClientQuota: p.adm.quota,
 		InFlight:    inFlight,
-		Waiting:     waiting,
+		Waiting:     waitHigh + waitLow,
+		WaitingHigh: waitHigh,
+		WaitingLow:  waitLow,
 		Done:        p.jobsDone.Load(),
 		Failed:      p.jobsFailed.Load(),
 		Cancelled:   p.jobsCancelled.Load(),
@@ -269,38 +270,41 @@ func (p *Pool) Stats() PoolStats {
 // width of jobs that don't request one).
 func (p *Pool) Workers() int { return p.workers }
 
-// acquire admits one job, waiting in the bounded queue when MaxInFlight
-// jobs are already evaluating.
-func (p *Pool) acquire(ctx context.Context) error {
-	if p.closed.Load() {
-		return ErrPoolClosed
+// acquire admits one job, waiting in the bounded queue (in its
+// priority class) when MaxInFlight jobs are already evaluating.
+// Rejections — overload, per-client quota, closed pool — are counted
+// into the metrics by reason.
+func (p *Pool) acquire(ctx context.Context, opts Options) error {
+	w, err := p.adm.tryAdmit(opts.Client, opts.Priority)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQuotaExceeded):
+			p.m.rejectedQuota.Add(1)
+		case errors.Is(err, ErrOverloaded):
+			p.m.rejectedOverload.Add(1)
+		case errors.Is(err, ErrPoolClosed):
+			p.m.rejectedClosed.Add(1)
+		}
+		return err
 	}
-	if int(p.queued.Add(1)) > p.maxInFlight+p.queueDepth {
-		p.queued.Add(-1)
-		return ErrOverloaded
+	if w == nil {
+		return nil
 	}
 	select {
-	case p.admit <- struct{}{}:
+	case <-w.ready:
+		return nil
 	case <-ctx.Done():
-		p.queued.Add(-1)
-		return ctx.Err()
+		err = ctx.Err()
 	case <-p.closeCh:
-		p.queued.Add(-1)
-		return ErrPoolClosed
+		p.m.rejectedClosed.Add(1)
+		err = ErrPoolClosed
 	}
-	// The select can win a token even when closeCh is also ready;
-	// Close sets closed before draining tokens, so this re-check makes
-	// a post-Close admission impossible.
-	if p.closed.Load() {
-		p.release()
-		return ErrPoolClosed
+	if !p.adm.abandon(w, opts.Priority) {
+		// The slot hand-off raced our wake-up and won: we own a slot we
+		// will never use — pass it straight on.
+		p.adm.release(opts.Client)
 	}
-	return nil
-}
-
-func (p *Pool) release() {
-	<-p.admit
-	p.queued.Add(-1)
+	return err
 }
 
 // analysisFor returns the shared OAG analysis of g, computing it on
@@ -319,35 +323,48 @@ func (p *Pool) analysisFor(g *ag.Grammar) (*ag.Analysis, error) {
 	return actual.(*ag.Analysis), nil
 }
 
-// Compile runs one compile job on the pool and blocks until it
-// completes, fails, or ctx is cancelled. Many Compile calls may run
-// concurrently; each is isolated in its own fragment set and librarian
-// handle namespace, and the output is byte-identical to running the
-// job alone. If the job uses Combined mode and carries no analysis,
-// the pool supplies the shared one for its grammar.
+// Compile is the one blessed entry point of the runtime: it runs one
+// compile job on the pool and blocks until the job completes, fails,
+// or ctx is cancelled. Deadlines and cancellation on ctx propagate
+// through admission (a job cancelled while queued never runs) and
+// evaluation (a job cancelled mid-flight has its remaining fragments
+// reclaimed — queued ones dropped as workers pop them, in-flight
+// messages discarded — and Compile returns ctx.Err(); the pool keeps
+// serving every other job). Many Compile calls may run concurrently;
+// each is isolated in its own fragment set and librarian handle
+// namespace, and the output is byte-identical to running the job
+// alone. If the job uses Combined mode and carries no analysis, the
+// pool supplies the shared one for its grammar.
 //
-// On cancellation the job's remaining fragments are reclaimed — queued
-// ones are dropped as workers pop them, in-flight messages to them are
-// discarded — and Compile returns ctx.Err().
+// Admission is governed by Options.Priority (capacity freed by a
+// finishing job goes to waiting high-priority jobs first) and, when
+// the pool has a ClientQuota, by Options.Client (over-quota
+// submissions fail with an error wrapping ErrQuotaExceeded).
 func (p *Pool) Compile(ctx context.Context, job cluster.Job, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		p.jobsCancelled.Add(1)
 		return nil, err
 	}
-	if err := p.acquire(ctx); err != nil {
+	enter := time.Now()
+	if err := p.acquire(ctx, opts); err != nil {
 		// Jobs cancelled while waiting for admission count as
-		// cancelled; overload/closed rejections never entered and
+		// cancelled; overload/quota/closed rejections never entered and
 		// count as neither done nor failed.
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			p.jobsCancelled.Add(1)
 		}
 		return nil, err
 	}
-	defer p.release()
+	p.m.queueWait.observe(time.Since(enter))
+	defer p.adm.release(opts.Client)
 	res, err := p.compile(ctx, job, opts)
 	switch {
 	case err == nil:
 		p.jobsDone.Add(1)
+		p.m.split.observe(res.SplitTime)
+		p.m.eval.observe(res.EvalTime)
+		p.m.splice.observe(res.SpliceTime)
+		p.m.wall.observe(res.WallTime)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		p.jobsCancelled.Add(1)
 	default:

@@ -1,0 +1,191 @@
+package parallel_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pag/internal/ag"
+	"pag/internal/cluster"
+	"pag/internal/parallel"
+	"pag/internal/tree"
+	"pag/internal/workload"
+)
+
+// gateJob builds a one-production grammar whose single semantic rule
+// signals started and then blocks until release is closed — a job that
+// deterministically holds an admission slot mid-evaluation, for
+// end-to-end quota/priority tests. Run it with NoCache: a cached
+// replay would skip the rule and never block.
+func gateJob(t *testing.T, token string, started chan<- struct{}, release <-chan struct{}) cluster.Job {
+	t.Helper()
+	b := ag.NewBuilder("gate")
+	tok := b.Terminal("tok", ag.Syn("text"))
+	s := b.Nonterminal("S", ag.Syn("val"))
+	prod := b.Production(s, []*ag.Symbol{tok},
+		ag.Def("val", func(args []ag.Value) ag.Value {
+			started <- struct{}{}
+			<-release
+			return args[0]
+		}, "1.text"))
+	b.Start(s)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ag.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.New(prod, tree.NewTerminal(tok, token, token))
+	return cluster.Job{G: g, A: a, Root: root}
+}
+
+// waitStats polls the pool until the predicate holds.
+func waitStats(t *testing.T, p *parallel.Pool, what string, ok func(parallel.PoolStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok(p.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s (stats %+v)", what, p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolQuotaPriorityEndToEnd drives quotas and priority classes
+// through the public Compile path with real jobs: a client holding its
+// whole quota mid-evaluation gets its next job rejected with the typed
+// quota error; with the pool saturated, a queued high-priority job is
+// admitted ahead of an earlier-queued low-priority one.
+func TestPoolQuotaPriorityEndToEnd(t *testing.T) {
+	pool := parallel.NewPool(parallel.PoolOptions{
+		Workers: 2, MaxInFlight: 1, QueueDepth: 8, ClientQuota: 1,
+	})
+	defer pool.Close()
+	gated := parallel.Options{NoCache: true}
+
+	// The blocker: client "batch" evaluating, holding the only slot.
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	blockerDone := make(chan error, 1)
+	go func() {
+		opts := gated
+		opts.Client = "batch"
+		opts.Priority = parallel.PriorityLow
+		_, err := pool.Compile(context.Background(), gateJob(t, "blocker", started, release), opts)
+		blockerDone <- err
+	}()
+	<-started
+
+	// Quota: "batch" is at its limit while the blocker runs.
+	_, err := pool.Compile(context.Background(), exprJob(t, "1+2"), parallel.Options{Client: "batch"})
+	if !errors.Is(err, parallel.ErrQuotaExceeded) {
+		t.Fatalf("over-quota compile returned %v, want ErrQuotaExceeded", err)
+	}
+	var qe *parallel.QuotaError
+	if !errors.As(err, &qe) || qe.Client != "batch" || qe.Limit != 1 {
+		t.Fatalf("quota error detail = %#v, want client=batch limit=1", err)
+	}
+
+	// Priority: a low-priority job queues first, a high-priority gate
+	// job after it; when the blocker finishes, the high one must own
+	// the slot while the low one is still waiting.
+	lowDone := make(chan error, 1)
+	go func() {
+		_, err := pool.Compile(context.Background(), exprJob(t, "2+3"), parallel.Options{
+			Client: "low", Priority: parallel.PriorityLow,
+		})
+		lowDone <- err
+	}()
+	waitStats(t, pool, "low-priority job queued", func(st parallel.PoolStats) bool {
+		return st.WaitingLow == 1
+	})
+
+	started2 := make(chan struct{}, 1)
+	release2 := make(chan struct{})
+	highDone := make(chan error, 1)
+	go func() {
+		opts := gated
+		opts.Client = "interactive"
+		_, err := pool.Compile(context.Background(), gateJob(t, "urgent", started2, release2), opts)
+		highDone <- err
+	}()
+	waitStats(t, pool, "high-priority job queued", func(st parallel.PoolStats) bool {
+		return st.WaitingHigh == 1
+	})
+
+	close(release)
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker failed: %v", err)
+	}
+	// The freed slot went to the high-priority job: it is evaluating
+	// (its rule signalled) and the low one is still in the queue.
+	<-started2
+	if st := pool.Stats(); st.WaitingLow != 1 || st.WaitingHigh != 0 {
+		t.Fatalf("with high-priority job running: stats %+v, want the low job still queued", st)
+	}
+	close(release2)
+	if err := <-highDone; err != nil {
+		t.Fatalf("high-priority job failed: %v", err)
+	}
+	if err := <-lowDone; err != nil {
+		t.Fatalf("low-priority job failed: %v", err)
+	}
+}
+
+// TestPoolDeadlineMidEvaluation is the deadline contract end to end:
+// a job whose context deadline expires mid-evaluation comes back with
+// context.DeadlineExceeded, counts as cancelled, and leaves the pool
+// fully reusable — the same job then compiles cleanly to the same
+// bytes as before, repeatedly, proving fragments and librarian handle
+// ranges were reclaimed.
+func TestPoolDeadlineMidEvaluation(t *testing.T) {
+	job := pascalJob(t, workload.Small())
+	// NoCache keeps every round a full evaluation, so short deadlines
+	// land mid-flight instead of after a near-instant replay.
+	opts := parallel.Options{Fragments: 8, Librarian: true, UIDPreset: true, NoCache: true}
+	pool := parallel.NewPool(parallel.PoolOptions{Workers: 2, MaxInFlight: 2})
+	defer pool.Close()
+
+	ref, err := pool.Compile(context.Background(), job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expired := 0
+	for _, d := range []time.Duration{50 * time.Microsecond, 200 * time.Microsecond, time.Millisecond, 4 * time.Millisecond} {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		res, err := pool.Compile(ctx, job, opts)
+		cancel()
+		switch {
+		case err == nil:
+			if res.Program != ref.Program {
+				t.Fatalf("deadline %v: completed job has wrong output", d)
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			expired++
+		default:
+			t.Fatalf("deadline %v: %v", d, err)
+		}
+	}
+	// A Small cold compile takes milliseconds; the 50µs deadline (at
+	// least) must have expired mid-evaluation.
+	if expired == 0 {
+		t.Fatal("no deadline expired mid-evaluation; the test exercised nothing")
+	}
+	if got := pool.Metrics().Cancelled; got < int64(expired) {
+		t.Errorf("Metrics.Cancelled = %d, want >= %d", got, expired)
+	}
+
+	for i := 0; i < 3; i++ {
+		res, err := pool.Compile(context.Background(), job, opts)
+		if err != nil {
+			t.Fatalf("clean compile %d after expiries: %v", i, err)
+		}
+		if res.Program != ref.Program {
+			t.Fatalf("clean compile %d differs from reference after expiries", i)
+		}
+	}
+}

@@ -13,8 +13,11 @@
 //   - Parse trees, splitting and linearization (internal/tree).
 //   - The three evaluators of the paper (internal/eval): NewDynamic,
 //     NewStatic, NewCombined.
+//   - The real shared-memory parallel runtime (internal/parallel):
+//     NewPool and Pool.Compile (context-first, with metrics, quotas
+//     and priorities), or one-shot CompileParallel.
 //   - The parallel runtime on a simulated 1987 network multiprocessor
-//     (internal/cluster, internal/netsim): Compile.
+//     (internal/cluster, internal/netsim): CompileSim.
 //   - Supporting data structures from §4.3 of the paper: rope strings
 //     (internal/rope), applicative symbol tables (internal/symtab).
 //
@@ -112,14 +115,17 @@ var (
 	NewCombined = eval.NewCombined
 )
 
-// Parallel runtime (internal/cluster, internal/netsim).
+// Simulated 1987 cluster (internal/cluster, internal/netsim).
 type (
-	// Job describes one parallel compilation.
+	// Job describes one parallel compilation (shared by the simulated
+	// and the real runtime).
 	Job = cluster.Job
-	// Options configures machines, mode and optimizations.
-	Options = cluster.Options
-	// Result reports timings, statistics and the produced program.
-	Result = cluster.Result
+	// SimOptions configures a simulated compilation: machines, mode and
+	// optimizations.
+	SimOptions = cluster.Options
+	// SimResult reports a simulated compilation: virtual-time timings,
+	// statistics and the produced program.
+	SimResult = cluster.Result
 	// Mode selects the evaluation strategy.
 	Mode = cluster.Mode
 	// Hardware describes the simulated machines and network.
@@ -134,21 +140,39 @@ const (
 	Dynamic  = cluster.Dynamic
 )
 
-// Compile runs one parallel compilation on the simulated network
-// multiprocessor and returns its result.
-func Compile(job Job, opts Options) (*Result, error) { return cluster.Run(job, opts) }
+// CompileSim runs one parallel compilation on the simulated network
+// multiprocessor — the paper's 1987 testbed in virtual time — and
+// returns its result. (It was named Compile before the real runtime
+// became the primary path.)
+func CompileSim(job Job, opts SimOptions) (*SimResult, error) { return cluster.Run(job, opts) }
 
 // DefaultHardware returns the paper's testbed: SUN-2-class machines on
 // a 10 Mbit/s shared Ethernet under a V-System-like message layer.
 func DefaultHardware() Hardware { return netsim.DefaultHardware() }
 
-// Real multicore runtime (internal/parallel).
+// Real multicore runtime (internal/parallel). This is the primary
+// path: NewPool + Pool.Compile for services, CompileParallel for
+// one-shot runs, CompileSim for the paper's virtual-time testbed.
 type (
-	// ParallelOptions configures the shared-memory parallel runtime.
-	ParallelOptions = parallel.Options
-	// ParallelResult reports a real parallel compilation: wall time,
+	// Options configures the shared-memory parallel runtime, including
+	// the job's Client identity and admission Priority.
+	Options = parallel.Options
+	// Result reports a real parallel compilation: wall time,
 	// statistics and the produced program.
-	ParallelResult = parallel.Result
+	Result = parallel.Result
+	// Metrics is a Pool's full observability snapshot: activity and
+	// cache counters, admission rejections and latency histograms.
+	// Encode it for scraping with its WritePrometheus method.
+	Metrics = parallel.Metrics
+	// Histogram is a point-in-time latency histogram snapshot inside
+	// Metrics, with a Quantile estimator.
+	Histogram = parallel.Histogram
+	// Priority is a job's admission class: PriorityHigh (default,
+	// interactive) or PriorityLow (batch, yields admission under load).
+	Priority = parallel.Priority
+	// QuotaError is the typed form of an over-quota rejection (wraps
+	// ErrQuotaExceeded; carries the client and limit).
+	QuotaError = parallel.QuotaError
 	// Pool is a persistent compile service: one long-lived worker pool
 	// serving many concurrent compile jobs, each isolated in its own
 	// fragment set and librarian handle namespace, with a
@@ -160,8 +184,9 @@ type (
 	// inputs that changed demote it to live evaluation instead).
 	Pool = parallel.Pool
 	// PoolOptions configures a Pool: workers, max in-flight jobs, the
-	// admission-queue depth and the fragment-cache byte budget
-	// (CacheBytes; 0 = DefaultCacheBytes, negative disables caching).
+	// admission-queue depth, the per-client quota (ClientQuota) and the
+	// fragment-cache byte budget (CacheBytes; 0 = DefaultCacheBytes,
+	// negative disables caching).
 	PoolOptions = parallel.PoolOptions
 	// PoolStats is a snapshot of a Pool's activity, including fragment
 	// cache hit/miss/eviction counters and the incremental-replay
@@ -173,31 +198,47 @@ type (
 // PoolOptions.CacheBytes is zero.
 const DefaultCacheBytes = parallel.DefaultCacheBytes
 
+// Admission classes (Options.Priority).
+const (
+	PriorityHigh = parallel.PriorityHigh
+	PriorityLow  = parallel.PriorityLow
+)
+
 // Pool failure modes (errors.Is-able).
 var (
 	// ErrPoolClosed reports a Compile on a closed Pool.
 	ErrPoolClosed = parallel.ErrPoolClosed
 	// ErrOverloaded reports a full admission queue.
 	ErrOverloaded = parallel.ErrOverloaded
+	// ErrQuotaExceeded reports a client at its per-client quota
+	// (PoolOptions.ClientQuota); errors.As with *QuotaError for detail.
+	ErrQuotaExceeded = parallel.ErrQuotaExceeded
 )
+
+// ParsePriority maps "high"/"low" (and "" = high) to a Priority.
+func ParsePriority(s string) (Priority, error) { return parallel.ParsePriority(s) }
 
 // NewPool starts a persistent compile pool. The pool owns the worker
 // goroutines and work-stealing scheduler; many Pool.Compile calls may
-// run concurrently on it, subject to the configured admission bounds,
-// and each job's output is byte-identical to running it alone. Close
-// the pool when done.
+// run concurrently on it, subject to the configured admission bounds
+// (max in-flight, queue depth, per-client quotas, priority classes),
+// and each job's output is byte-identical to running it alone.
+// Pool.Compile(ctx, job, opts) is the one blessed entry point of the
+// runtime: the context carries cancellation and deadlines into the
+// evaluation itself. Close the pool when done; Pool.Metrics exposes
+// the observability snapshot.
 func NewPool(opts PoolOptions) *Pool { return parallel.NewPool(opts) }
 
 // CompileParallel runs one compilation on the real shared-memory
-// parallel runtime: the tree is decomposed exactly as in Compile, but
-// fragments are evaluated by a pool of worker goroutines on real CPU
-// cores, attribute values travel between fragments over per-fragment
-// mailboxes, and code strings are assembled by a concurrent string
-// librarian. Given opts.Workers == Options.Machines, the produced
-// program is byte-identical to Compile's. It is a one-shot Pool;
-// services compiling repeatedly should hold a NewPool and call
-// Pool.Compile.
-func CompileParallel(job Job, opts ParallelOptions) (*ParallelResult, error) {
+// parallel runtime: the tree is decomposed exactly as in CompileSim,
+// but fragments are evaluated by a pool of worker goroutines on real
+// CPU cores, attribute values travel between fragments over
+// per-fragment mailboxes, and code strings are assembled by a
+// concurrent string librarian. Given opts.Workers == Machines, the
+// produced program is byte-identical to CompileSim's. It is a thin
+// wrapper over a one-shot Pool; services compiling repeatedly should
+// hold a NewPool and call Pool.Compile.
+func CompileParallel(job Job, opts Options) (*Result, error) {
 	return parallel.Run(job, opts)
 }
 
