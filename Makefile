@@ -4,8 +4,8 @@
 GO ?= go
 
 # Benchmarks tracked in the BENCH_*.json perf trajectory.
-BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental|BenchmarkSustainedLoad
-BENCH_BASELINE = BENCH_PR6.json
+BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental|BenchmarkSustainedLoad|BenchmarkFleet
+BENCH_BASELINE = BENCH_PR7.json
 
 .PHONY: all build test race bench bench-parallel bench-json benchstat bench-gate fuzz lint fmt check figures clean
 
@@ -52,6 +52,7 @@ bench-gate:
 fuzz:
 	$(GO) test ./internal/tree -run XXX -fuzz FuzzHash -fuzztime 30s
 	$(GO) test ./internal/parallel -run XXX -fuzz FuzzInboundCanon -fuzztime 15s
+	$(GO) test ./internal/rope -run XXX -fuzz FuzzShipCodec -fuzztime 15s
 
 lint:
 	$(GO) vet ./...

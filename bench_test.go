@@ -9,6 +9,7 @@ package pag_test
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"sort"
 	"strings"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"pag/internal/eval"
 	"pag/internal/experiments"
 	"pag/internal/exprlang"
+	"pag/internal/fleet"
 	"pag/internal/parallel"
 	"pag/internal/pascal"
 	"pag/internal/rope"
@@ -660,5 +662,89 @@ func BenchmarkEvaluators(b *testing.B) {
 				b.Fatal("blocked")
 			}
 		}
+	})
+}
+
+// BenchmarkFleet measures what distributed evaluation costs over the
+// shared-memory pool: the same tiny-pascal job compiled by a local
+// 2-worker pool, by a coordinator splitting it across 2 fleet workers
+// on the in-memory transport (serialization + session protocol, no
+// sockets), and across 2 real HTTP loopback workers. NoCache keeps
+// every op a full evaluation; the local/mem gap is the wire-codec tax
+// and the mem/http gap is the network stack.
+func BenchmarkFleet(b *testing.B) {
+	job, err := pascal.MustNew().ClusterJob(workload.Generate(workload.Tiny()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultParallelOptions()
+	opts.Workers = 2
+	opts.NoCache = true
+	ctx := context.Background()
+
+	compileLoop := func(b *testing.B, pool *parallel.Pool, wantRemote bool) {
+		b.Helper()
+		res, err := pool.Compile(ctx, job, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wantRemote && res.RemoteFrags == 0 {
+			b.Fatal("fleet benchmark ran locally")
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(res.Program)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Compile(ctx, job, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("local", func(b *testing.B) {
+		pool := parallel.NewPool(parallel.PoolOptions{Workers: 2})
+		defer pool.Close()
+		compileLoop(b, pool, false)
+	})
+
+	fleetPool := func(b *testing.B, tr fleet.Transport, addrs []string) *parallel.Pool {
+		b.Helper()
+		client := fleet.NewClient(fleet.ClientOptions{
+			Workers:   addrs,
+			Transport: tr,
+			// No background loop: the fleet is static and healthy.
+			HealthInterval: 0,
+		})
+		client.Start()
+		b.Cleanup(client.Stop)
+		co := fleet.NewCoordinator(fleet.CoordinatorOptions{Client: client})
+		pool := parallel.NewPool(parallel.PoolOptions{Workers: 2, Remote: co})
+		b.Cleanup(pool.Close)
+		return pool
+	}
+
+	b.Run("fleet-mem", func(b *testing.B) {
+		mem := fleet.NewMemTransport()
+		var addrs []string
+		for i := 0; i < 2; i++ {
+			w := fleet.NewWorker()
+			w.Register(job.G, job.A, job.Lex)
+			addr := fmt.Sprintf("w%d", i)
+			mem.Add(addr, w)
+			addrs = append(addrs, addr)
+		}
+		compileLoop(b, fleetPool(b, mem, addrs), true)
+	})
+
+	b.Run("fleet-http", func(b *testing.B) {
+		var addrs []string
+		for i := 0; i < 2; i++ {
+			w := fleet.NewWorker()
+			w.Register(job.G, job.A, job.Lex)
+			srv := httptest.NewServer(w.Routes())
+			b.Cleanup(srv.Close)
+			addrs = append(addrs, srv.URL)
+		}
+		compileLoop(b, fleetPool(b, &fleet.HTTPTransport{}, addrs), true)
 	})
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyDaemon answers 503 for the first fail requests, then serves
+// asm. It counts every request it sees.
+func flakyDaemon(fail int, asm string) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= int64(fail) {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte(asm)) //nolint:errcheck
+	}))
+	return srv, &calls
+}
+
+func daemonCfg(url string) config {
+	return config{machines: 1, modeName: "combined", daemonURL: url, retries: 3, retryBackoff: time.Millisecond, quiet: true, asm: true}
+}
+
+// TestDaemonRetriesTransientFailures: two 503s then success — the
+// client retries through them and prints the assembly.
+func TestDaemonRetriesTransientFailures(t *testing.T) {
+	srv, calls := flakyDaemon(2, "movl r0,r1\n")
+	defer srv.Close()
+	var out strings.Builder
+	cfg := daemonCfg(srv.URL)
+	cfg.wl = "tiny"
+	if err := run(&out, cfg, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("daemon saw %d requests, want 3 (two retried 503s)", got)
+	}
+	if out.String() != "movl r0,r1\n" {
+		t.Errorf("assembly = %q", out.String())
+	}
+}
+
+// TestDaemonRetriesExhausted: a daemon that never recovers fails the
+// compile after the retry budget, reporting the attempt count.
+func TestDaemonRetriesExhausted(t *testing.T) {
+	srv, calls := flakyDaemon(1000, "")
+	defer srv.Close()
+	cfg := daemonCfg(srv.URL)
+	cfg.retries = 2
+	cfg.wl = "tiny"
+	err := run(&strings.Builder{}, cfg, nil)
+	if err == nil {
+		t.Fatal("run succeeded against a permanently overloaded daemon")
+	}
+	if !strings.Contains(err.Error(), "3 attempt(s)") {
+		t.Errorf("error does not report attempts: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("daemon saw %d requests, want 3", got)
+	}
+}
+
+// TestDaemonDoesNotRetryPermanentErrors: a 422 (semantic errors, bad
+// source) is never worth resubmitting.
+func TestDaemonDoesNotRetryPermanentErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "2 semantic error(s)", http.StatusUnprocessableEntity)
+	}))
+	defer srv.Close()
+	cfg := daemonCfg(srv.URL)
+	cfg.wl = "tiny"
+	err := run(&strings.Builder{}, cfg, nil)
+	if err == nil || !strings.Contains(err.Error(), "422") {
+		t.Fatalf("want a 422 error, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("daemon saw %d requests for a permanent error, want 1", got)
+	}
+}
+
+// TestDaemonNeverRetriesMidStream: once a 200 body starts, a broken
+// connection is an error, not a retry — the daemon may have done the
+// work, and POST /compile is not idempotent.
+func TestDaemonNeverRetriesMidStream(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		// Promise more bytes than we send, then cut the connection:
+		// the client's body read fails mid-stream.
+		w.Header().Set("Content-Length", "1000000")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("movl r0,")) //nolint:errcheck
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("recorder cannot hijack")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close()
+	}))
+	defer srv.Close()
+	cfg := daemonCfg(srv.URL)
+	cfg.wl = "tiny"
+	err := run(&strings.Builder{}, cfg, nil)
+	if err == nil {
+		t.Fatal("run succeeded on a truncated response")
+	}
+	if !strings.Contains(err.Error(), "mid-stream") {
+		t.Errorf("error does not name the mid-stream failure: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("daemon saw %d requests after a mid-stream break, want 1 (no retry)", got)
+	}
+}
+
+// TestDaemonFlagValidation: daemon-only flags without -daemon, and
+// local-only flags with it, are rejected loudly.
+func TestDaemonFlagValidation(t *testing.T) {
+	base := config{machines: 1, modeName: "combined", retries: -1}
+	for name, cfg := range map[string]config{
+		"retries without daemon":   {machines: 1, modeName: "combined", retries: 2, wl: "tiny"},
+		"backoff without daemon":   {machines: 1, modeName: "combined", retries: -1, retryBackoff: time.Second, wl: "tiny"},
+		"daemon with batch":        func() config { c := base; c.daemonURL = "http://x"; c.batch = true; return c }(),
+		"daemon with -n":           func() config { c := base; c.daemonURL = "http://x"; c.machines = 4; return c }(),
+		"daemon with -gantt":       func() config { c := base; c.daemonURL = "http://x"; c.gantt = true; c.wl = "tiny"; return c }(),
+		"daemon with -granularity": func() config { c := base; c.daemonURL = "http://x"; c.gran = 100; c.wl = "tiny"; return c }(),
+		"daemon with -workers":     func() config { c := base; c.daemonURL = "http://x"; c.workers = 2; c.wl = "tiny"; return c }(),
+		"daemon without operands":  func() config { c := base; c.daemonURL = "http://x"; return c }(),
+	} {
+		if err := run(&strings.Builder{}, cfg, nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

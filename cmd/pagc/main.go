@@ -28,6 +28,13 @@
 // compiling it (the seed for building such an edit series):
 //
 //	pagc -workload tiny -dump-source > v1.pas
+//
+// Daemon mode submits the job to a running pagd instead of compiling
+// in-process, retrying transient failures (connection errors and
+// 502/503/504, never a response that started streaming) with
+// exponential jittered backoff:
+//
+//	pagc -daemon http://localhost:8642 -retries 3 -S file.pas
 package main
 
 import (
@@ -61,14 +68,18 @@ func main() {
 	series := flag.Bool("series", false, "batch mode: compile the files sequentially as successive versions of one program (edit series; unchanged fragments replay incrementally)")
 	workers := flag.Int("workers", 0, "batch mode: pool worker goroutines (0 = all CPUs)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "batch mode: fragment cache budget in bytes (0 = default, <0 = disable)")
-	priority := flag.String("priority", "", `batch mode: admission class of the jobs ("high" or "low"; "" = high)`)
+	priority := flag.String("priority", "", `batch and daemon modes: admission class of the jobs ("high" or "low"; "" = high)`)
+	daemon := flag.String("daemon", "", "compile via a running pagd at this base URL (e.g. http://localhost:8642) instead of in-process")
+	retries := flag.Int("retries", -1, "daemon mode: retries for requests that failed before a response body started (-1 = default 2)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "daemon mode: base of the exponential (jittered) retry backoff (0 = default 200ms)")
 	flag.Parse()
 
 	cfg := config{
 		machines: *machines, modeName: *mode, gran: *gran,
 		noLib: *noLib, chain: *chain, gantt: *gantt, asm: *asm, quiet: *quiet,
 		wl: *wl, dump: *dump, batch: *batch, series: *series, workers: *workers, cacheBytes: *cacheBytes,
-		priority: *priority,
+		priority:  *priority,
+		daemonURL: *daemon, retries: *retries, retryBackoff: *retryBackoff,
 	}
 	if err := run(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pagc:", err)
@@ -92,6 +103,12 @@ type config struct {
 	workers    int
 	cacheBytes int64
 	priority   string
+	// Daemon mode: base URL of a running pagd, plus the HTTP retry
+	// policy (see daemon.go). retries -1 and retryBackoff 0 mean "use
+	// the defaults"; setting them without -daemon is an error.
+	daemonURL    string
+	retries      int
+	retryBackoff time.Duration
 }
 
 func run(out io.Writer, cfg config, args []string) error {
@@ -99,7 +116,7 @@ func run(out io.Writer, cfg config, args []string) error {
 		if cfg.wl == "" {
 			return fmt.Errorf("-dump-source prints a generated workload; combine it with -workload")
 		}
-		if cfg.batch || len(args) > 0 {
+		if cfg.batch || cfg.daemonURL != "" || len(args) > 0 {
 			return fmt.Errorf("-dump-source only prints the -workload source; drop the other operands")
 		}
 		src, err := workloadSource(cfg.wl)
@@ -111,6 +128,15 @@ func run(out io.Writer, cfg config, args []string) error {
 	}
 	if cfg.series && !cfg.batch {
 		return fmt.Errorf("-series is a -batch mode (an edit series compiles through one pool)")
+	}
+	if cfg.daemonURL != "" {
+		return runDaemon(out, cfg, args)
+	}
+	if cfg.retries > 0 {
+		return fmt.Errorf("-retries retries daemon requests; combine it with -daemon")
+	}
+	if cfg.retryBackoff != 0 {
+		return fmt.Errorf("-retry-backoff paces daemon retries; combine it with -daemon")
 	}
 	if cfg.batch {
 		return runBatch(out, cfg, args)

@@ -21,10 +21,21 @@
 //	                `pagc -q -S`. With ?nocache=1 the request bypasses
 //	                the pool's fragment cache.
 //	GET  /healthz   liveness probe ("ok").
+//	GET  /readyz    readiness probe: 503 while draining for shutdown or
+//	                while the pool is saturated (slots and queue full),
+//	                200 "ready" otherwise.
 //	GET  /metrics   Prometheus text exposition (counters, gauges and
 //	                latency histograms; see parallel.WritePrometheus).
 //	GET  /stats     the same snapshot as JSON (in-flight, queue depths,
 //	                rejections, cache counters, histograms).
+//
+// Distributed mode: `pagd -worker` serves as a fleet evaluation worker
+// (the session RPCs under /fleet/ plus /healthz and /readyz), and a
+// coordinator daemon started with `-fleet http://h1:9001,http://h2:9001`
+// evaluates fragments on those workers — health-checked routing,
+// retry/requeue with exponential backoff (-fleet-retries,
+// -fleet-backoff, -fleet-health), and graceful degradation to local
+// evaluation when no worker is ready. See README "Distributed mode".
 //
 // Every compile request is assigned a job ID, returned in the
 // X-Pag-Job-Id response header and the stream events, and carried
@@ -64,10 +75,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"pag/internal/cluster"
+	"pag/internal/fleet"
 	"pag/internal/parallel"
 	"pag/internal/pascal"
 	"pag/internal/workload"
@@ -87,21 +100,48 @@ func main() {
 	priorityHeader := flag.String("priority-header", defaultPriorityHeader, `request header carrying the job priority ("high" or "low")`)
 	maxTimeout := flag.Duration("max-timeout", 0, "server-side job deadline: caps client timeout_ms and applies to requests without one (0 = none)")
 	debugAddr := flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (empty = disabled)")
+	workerMode := flag.Bool("worker", false, "serve as a fleet evaluation worker instead of a coordinator daemon")
+	fleetAddrs := flag.String("fleet", "", "comma-separated worker base URLs; jobs evaluate on this fleet instead of in-process")
+	fleetRetries := flag.Int("fleet-retries", 3, "same-placement retries per fleet RPC before requeueing the fragment")
+	fleetBackoff := flag.Duration("fleet-backoff", 25*time.Millisecond, "base of the exponential (jittered) fleet retry backoff")
+	fleetHealth := flag.Duration("fleet-health", 5*time.Second, "fleet worker health-check interval (<= 0 probes once at startup only)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	s := newServer(parallel.PoolOptions{
+	if *workerMode {
+		runWorker(logger, *addr, *debugAddr)
+		return
+	}
+
+	poolOpts := parallel.PoolOptions{
 		Workers: *workers, MaxInFlight: *maxInFlight, QueueDepth: *queue,
 		CacheBytes: *cacheBytes, ClientQuota: *quota,
-	})
+	}
+	var client *fleet.Client
+	if *fleetAddrs != "" {
+		addrs := strings.Split(*fleetAddrs, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		client = fleet.NewClient(fleet.ClientOptions{
+			Workers:        addrs,
+			HealthInterval: *fleetHealth,
+		})
+		client.Start()
+		poolOpts.Remote = fleet.NewCoordinator(fleet.CoordinatorOptions{
+			Client:  client,
+			Retries: *fleetRetries,
+			Backoff: *fleetBackoff,
+		})
+		logger.Info("fleet mode", "workers", addrs, "retries", *fleetRetries,
+			"backoff", fleetBackoff.String(), "health_interval", fleetHealth.String())
+	}
+	s := newServer(poolOpts)
 	s.log = logger
 	s.priorityHeader = *priorityHeader
 	s.maxTimeout = *maxTimeout
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
-
-	if *debugAddr != "" {
-		go serveDebug(logger, *debugAddr)
-	}
+	debug := startDebug(logger, *debugAddr)
 
 	done := make(chan struct{})
 	go func() {
@@ -110,9 +150,18 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		logger.Info("shutting down")
+		// Flip /readyz first so load balancers route around the daemon
+		// while in-flight requests drain.
+		s.draining.Store(true)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain before pool close
+		if debug != nil {
+			debug.Shutdown(ctx) //nolint:errcheck // pprof has no state to drain
+		}
+		if client != nil {
+			client.Stop()
+		}
 		s.pool.Close()
 	}()
 
@@ -125,20 +174,69 @@ func main() {
 	<-done
 }
 
-// serveDebug runs the opt-in profiling listener. The handlers are
-// registered on a private mux (not http.DefaultServeMux) so the only
-// thing this port serves is pprof.
-func serveDebug(logger *slog.Logger, addr string) {
+// runWorker is `pagd -worker`: one fleet evaluation worker serving the
+// session RPCs and health endpoints a coordinator routes by. Shutdown
+// drains first (readyz 503, new sessions refused) so coordinators
+// requeue around this worker before the listener closes.
+func runWorker(logger *slog.Logger, addr, debugAddr string) {
+	l := pascal.MustNew()
+	w := fleet.NewWorker()
+	w.Register(l.G, l.A, l.TerminalAttrs)
+	srv := &http.Server{Addr: addr, Handler: w.Routes()}
+	debug := startDebug(logger, debugAddr)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		logger.Info("worker shutting down", "open_sessions", w.Sessions())
+		w.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain
+		if debug != nil {
+			debug.Shutdown(ctx) //nolint:errcheck // pprof has no state to drain
+		}
+	}()
+
+	logger.Info("fleet worker serving", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("listen failed", "error", err.Error())
+		os.Exit(1)
+	}
+	<-done
+}
+
+// newDebugServer builds the opt-in profiling listener. The handlers
+// are registered on a private mux (not http.DefaultServeMux) so the
+// only thing this port serves is pprof.
+func newDebugServer(addr string) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	logger.Info("debug listener serving pprof", "addr", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		logger.Error("debug listener failed", "error", err.Error())
+	return &http.Server{Addr: addr, Handler: mux}
+}
+
+// startDebug launches the pprof listener (when addr is set) and
+// returns the server so shutdown can close it with the rest of the
+// daemon instead of leaking the listener.
+func startDebug(logger *slog.Logger, addr string) *http.Server {
+	if addr == "" {
+		return nil
 	}
+	srv := newDebugServer(addr)
+	go func() {
+		logger.Info("debug listener serving pprof", "addr", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("debug listener failed", "error", err.Error())
+		}
+	}()
+	return srv
 }
 
 // server is the HTTP face of one compile pool. It is a separate type
@@ -152,6 +250,10 @@ type server struct {
 	// timeouts and is the default for requests without one.
 	priorityHeader string
 	maxTimeout     time.Duration
+	// draining flips when shutdown begins: /readyz answers 503 while
+	// in-flight requests finish, so fleet clients and load balancers
+	// stop routing here before the listener closes.
+	draining atomic.Bool
 }
 
 func newServer(opts parallel.PoolOptions) *server {
@@ -169,6 +271,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		code, state := readyzState(s.draining.Load(), s.pool.Stats())
+		w.WriteHeader(code)
+		fmt.Fprintln(w, state)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.pool.Metrics().WritePrometheus(w) //nolint:errcheck // best-effort scrape
@@ -178,6 +285,22 @@ func (s *server) routes() http.Handler {
 		json.NewEncoder(w).Encode(s.pool.Metrics()) //nolint:errcheck // best-effort stats
 	})
 	return s.logRequests(recoverPanics(mux))
+}
+
+// readyzState decides the readiness answer: 503 while the daemon is
+// draining for shutdown or the pool is saturated (evaluation slots
+// full and the admission queue at its bound — the next job would be
+// refused with 503 anyway), 200 otherwise. A pure function so every
+// state is unit-testable without signals or load.
+func readyzState(draining bool, st parallel.PoolStats) (int, string) {
+	switch {
+	case draining:
+		return http.StatusServiceUnavailable, "draining"
+	case st.InFlight >= st.MaxInFlight && (st.QueueDepth <= 0 || st.Waiting >= st.QueueDepth):
+		return http.StatusServiceUnavailable, "saturated"
+	default:
+		return http.StatusOK, "ready"
+	}
 }
 
 // logRequests emits one structured log line per request (except the

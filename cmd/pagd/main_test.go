@@ -2,9 +2,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -519,5 +521,84 @@ func TestIncrementalEditOverHTTP(t *testing.T) {
 	}
 	if done.Status != "done" || done.PartialHits < 1 {
 		t.Errorf("done event reports %d partial hits, want >= 1 (%+v)", done.PartialHits, done)
+	}
+}
+
+// TestReadyzStates covers the readiness decision for all three states
+// — ready, saturated, draining — as a pure function, then checks the
+// handler serves it.
+func TestReadyzStates(t *testing.T) {
+	if code, state := readyzState(false, parallel.PoolStats{MaxInFlight: 4, QueueDepth: 8}); code != http.StatusOK || state != "ready" {
+		t.Errorf("idle pool: %d %q, want 200 ready", code, state)
+	}
+	if code, state := readyzState(false, parallel.PoolStats{MaxInFlight: 4, InFlight: 4, QueueDepth: 8, Waiting: 8}); code != http.StatusServiceUnavailable || state != "saturated" {
+		t.Errorf("full pool: %d %q, want 503 saturated", code, state)
+	}
+	// Slots full but queue has room: still ready (the next job waits,
+	// it is not refused).
+	if code, state := readyzState(false, parallel.PoolStats{MaxInFlight: 4, InFlight: 4, QueueDepth: 8, Waiting: 2}); code != http.StatusOK || state != "ready" {
+		t.Errorf("queueing pool: %d %q, want 200 ready", code, state)
+	}
+	// No queue at all: full slots alone saturate.
+	if code, state := readyzState(false, parallel.PoolStats{MaxInFlight: 4, InFlight: 4, QueueDepth: -1}); code != http.StatusServiceUnavailable || state != "saturated" {
+		t.Errorf("queueless full pool: %d %q, want 503 saturated", code, state)
+	}
+	if code, state := readyzState(true, parallel.PoolStats{MaxInFlight: 4, QueueDepth: 8}); code != http.StatusServiceUnavailable || state != "draining" {
+		t.Errorf("draining: %d %q, want 503 draining", code, state)
+	}
+
+	s, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ready" {
+		t.Errorf("GET /readyz on idle daemon: %d %q, want 200 ready", resp.StatusCode, body)
+	}
+	s.draining.Store(true)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || strings.TrimSpace(string(body)) != "draining" {
+		t.Errorf("GET /readyz while draining: %d %q, want 503 draining", resp.StatusCode, body)
+	}
+}
+
+// TestDebugServerShutdown: the pprof listener is an owned http.Server
+// that Shutdown closes — the old implementation leaked the listener
+// for the life of the process.
+func TestDebugServerShutdown(t *testing.T) {
+	srv := newDebugServer("127.0.0.1:0")
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	url := "http://" + ln.Addr().String() + "/debug/pprof/"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Errorf("debug listener still serving after Shutdown")
 	}
 }

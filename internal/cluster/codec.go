@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"pag/internal/ag"
+	"pag/internal/rope"
+)
+
+// The one copy of the attribute wire-conversion policy shared by every
+// runtime that ships attribute values between evaluators: the simulated
+// cluster machines (evaluator.go) and the distributed fleet workers
+// (internal/fleet). Keeping it here means the librarian ship-codec
+// dispatch — the §4.3 decision of whether a code value crosses the
+// boundary as text or as an O(1) descriptor — cannot drift between the
+// byte-identity oracle and the real network runtime.
+
+// EncodeAttr converts one outgoing attribute value of sym for
+// transmission. When useLib is set and the attribute's codec supports
+// librarian shipping, local text runs are deposited via store and the
+// returned bytes are a descriptor (ship true); otherwise the value is
+// flattened with the plain codec (ship false).
+func EncodeAttr(sym *ag.Symbol, attr int, v ag.Value, useLib bool, store func(text string) (int32, error)) (data []byte, ship bool, err error) {
+	codec := sym.Attrs[attr].Codec
+	if sc, ok := codec.(rope.ShipCodec); ok && useLib {
+		data, err = sc.EncodeShip(store, v)
+		return data, true, err
+	}
+	data, err = codec.Encode(v)
+	return data, false, err
+}
+
+// DecodeAttr reverses EncodeAttr on the receiving evaluator: a
+// librarian run decodes ship-codec attributes to descriptors, a naive
+// run decodes the flattened value.
+func DecodeAttr(sym *ag.Symbol, attr int, data []byte, useLib bool) (ag.Value, error) {
+	codec := sym.Attrs[attr].Codec
+	if sc, ok := codec.(rope.ShipCodec); ok && useLib {
+		return sc.DecodeShip(data)
+	}
+	return codec.Decode(data)
+}

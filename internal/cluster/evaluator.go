@@ -62,31 +62,19 @@ func (c *run) evaluator(p *netsim.Proc, idx int) {
 		return h, nil
 	}
 
-	// encodeAttr converts an outgoing attribute value, depositing code
-	// text at the librarian when the codec supports it.
+	// encodeAttr converts an outgoing attribute value through the shared
+	// wire policy (codec.go), depositing code text at the librarian when
+	// the codec supports it.
 	encodeAttr := func(sym *ag.Symbol, attr int, v ag.Value) ([]byte, bool) {
-		codec := sym.Attrs[attr].Codec
-		if ship, ok := codec.(rope.ShipCodec); ok && c.useLib {
-			data, err := ship.EncodeShip(store, v)
-			if err != nil {
-				c.fail(fmt.Errorf("cluster: encoding %s.%s: %w", sym.Name, sym.Attrs[attr].Name, err))
-				return nil, false
-			}
-			return data, true
-		}
-		data, err := codec.Encode(v)
+		data, ship, err := EncodeAttr(sym, attr, v, c.useLib, store)
 		if err != nil {
 			c.fail(fmt.Errorf("cluster: encoding %s.%s: %w", sym.Name, sym.Attrs[attr].Name, err))
 			return nil, false
 		}
-		return data, false
+		return data, ship
 	}
 	decodeAttr := func(sym *ag.Symbol, attr int, data []byte) (ag.Value, error) {
-		codec := sym.Attrs[attr].Codec
-		if ship, ok := codec.(rope.ShipCodec); ok && c.useLib {
-			return ship.DecodeShip(data)
-		}
-		return codec.Decode(data)
+		return DecodeAttr(sym, attr, data, c.useLib)
 	}
 
 	hooks := eval.Hooks{

@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workerState is one worker's last observed health.
+type workerState int32
+
+const (
+	// stateUnknown: never probed; not routable until a probe succeeds.
+	stateUnknown workerState = iota
+	// stateReady: liveness and readiness both passed; routable.
+	stateReady
+	// stateUnready: alive but refusing work (draining or saturated).
+	stateUnready
+	// stateUnhealthy: liveness failed, or an RPC failed at the
+	// transport level; not routable until a probe revives it.
+	stateUnhealthy
+)
+
+func (s workerState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateUnready:
+		return "unready"
+	case stateUnhealthy:
+		return "unhealthy"
+	default:
+		return "unknown"
+	}
+}
+
+// workerRef is one fleet worker as the client sees it.
+type workerRef struct {
+	addr     string
+	state    atomic.Int32
+	inflight atomic.Int32 // fragments currently placed here
+}
+
+// ClientOptions configures a Client.
+type ClientOptions struct {
+	// Workers lists worker base addresses (http://host:port for the
+	// HTTPTransport; arbitrary names on a MemTransport).
+	Workers []string
+	// Transport delivers the RPCs; nil uses an HTTPTransport.
+	Transport Transport
+	// CallTimeout is the per-RPC deadline (the per-fragment deadline of
+	// one evaluation step); <= 0 uses 30s. A worker that hangs past it
+	// fails the call like a dead worker, and the fragment requeues.
+	CallTimeout time.Duration
+	// HealthInterval is the background probe period; <= 0 disables the
+	// probe loop (tests drive CheckNow by hand). Probes use the same
+	// Transport as the RPCs, so injected faults apply to them too.
+	HealthInterval time.Duration
+}
+
+// DefaultCallTimeout bounds one fleet RPC when ClientOptions does not.
+const DefaultCallTimeout = 30 * time.Second
+
+// Client is the coordinator's view of the worker fleet: it tracks
+// per-worker health (active probes against /healthz + /readyz, passive
+// marking on RPC failures) and routes fragments to the least-loaded
+// ready worker. It holds no session state — placement and requeue
+// policy live in the Coordinator.
+type Client struct {
+	workers     []*workerRef
+	transport   Transport
+	callTimeout time.Duration
+	interval    time.Duration
+
+	transitions atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	pickMu sync.Mutex
+}
+
+// NewClient builds a client; call Start to probe the fleet and begin
+// background health checking.
+func NewClient(opts ClientOptions) *Client {
+	t := opts.Transport
+	if t == nil {
+		t = &HTTPTransport{}
+	}
+	timeout := opts.CallTimeout
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	c := &Client{
+		transport:   t,
+		callTimeout: timeout,
+		interval:    opts.HealthInterval,
+		stop:        make(chan struct{}),
+	}
+	for _, addr := range opts.Workers {
+		c.workers = append(c.workers, &workerRef{addr: addr})
+	}
+	return c
+}
+
+// Start probes every worker once (so the first compile sees real
+// states, not unknowns) and, with a positive HealthInterval, starts
+// the background probe loop.
+func (c *Client) Start() {
+	ctx, cancel := context.WithTimeout(context.Background(), c.callTimeout)
+	c.CheckNow(ctx)
+	cancel()
+	if c.interval <= 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), c.callTimeout)
+				c.CheckNow(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop.
+func (c *Client) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// CheckNow probes every worker once, concurrently: /healthz decides
+// alive, /readyz decides routable.
+func (c *Client) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *workerRef) {
+			defer wg.Done()
+			c.probe(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (c *Client) probe(ctx context.Context, w *workerRef) {
+	if _, err := c.transport.Do(ctx, w.addr, pathHealth, nil); err != nil {
+		c.setState(w, stateUnhealthy)
+		return
+	}
+	if _, err := c.transport.Do(ctx, w.addr, pathReady, nil); err != nil {
+		var se *StatusError
+		if errors.As(err, &se) {
+			c.setState(w, stateUnready)
+		} else {
+			c.setState(w, stateUnhealthy)
+		}
+		return
+	}
+	c.setState(w, stateReady)
+}
+
+// setState records a health observation, counting the edge.
+func (c *Client) setState(w *workerRef, s workerState) {
+	if workerState(w.state.Swap(int32(s))) != s {
+		c.transitions.Add(1)
+	}
+}
+
+// markFailed is the passive half of health checking: an RPC that
+// failed at the transport level marks the worker unhealthy immediately
+// so no other fragment routes there before the next probe.
+func (c *Client) markFailed(w *workerRef) { c.setState(w, stateUnhealthy) }
+
+// pick reserves the ready worker with the fewest fragments in flight
+// (ties to the first configured — deterministic), or nil when no
+// worker is routable (the degrade signal). Callers must release.
+func (c *Client) pick() *workerRef {
+	c.pickMu.Lock()
+	defer c.pickMu.Unlock()
+	var best *workerRef
+	for _, w := range c.workers {
+		if workerState(w.state.Load()) != stateReady {
+			continue
+		}
+		if best == nil || w.inflight.Load() < best.inflight.Load() {
+			best = w
+		}
+	}
+	if best != nil {
+		best.inflight.Add(1)
+	}
+	return best
+}
+
+// release returns a pick.
+func (c *Client) release(w *workerRef) { w.inflight.Add(-1) }
+
+// do delivers one RPC under the per-call deadline.
+func (c *Client) do(ctx context.Context, w *workerRef, path string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.callTimeout)
+	defer cancel()
+	return c.transport.Do(ctx, w.addr, path, body)
+}
+
+// counts reports the configured and ready worker counts.
+func (c *Client) counts() (workers, ready int) {
+	for _, w := range c.workers {
+		if workerState(w.state.Load()) == stateReady {
+			ready++
+		}
+	}
+	return len(c.workers), ready
+}
+
+// Transitions returns the health-state edge count.
+func (c *Client) Transitions() int64 { return c.transitions.Load() }
+
+// jitter spreads d into [d/2, d): shared by every backoff so
+// simultaneous retries from many fragments don't stampede a worker
+// that just came back.
+func jitter(rng *rand.Rand, mu *sync.Mutex, d time.Duration) time.Duration {
+	if d <= time.Nanosecond {
+		return d
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	half := int64(d) / 2
+	return time.Duration(half + rng.Int63n(half))
+}

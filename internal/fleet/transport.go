@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Transport delivers one RPC to a worker address. A nil error means
+// the worker answered 200 and resp is its (still sealed) body; a
+// non-200 answer is a *StatusError; anything else is a transport
+// failure (connection refused, reset, timeout) — the worker may or may
+// not have processed the request, which is why every RPC in the
+// protocol is idempotent.
+type Transport interface {
+	Do(ctx context.Context, addr, path string, body []byte) ([]byte, error)
+}
+
+// StatusError is a worker's non-200 answer.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("fleet: worker answered %d: %s", e.Code, e.Msg)
+}
+
+// HTTPTransport speaks the worker protocol over HTTP: POST for the
+// session RPCs, GET for the health probes.
+type HTTPTransport struct {
+	// Client, when nil, uses http.DefaultClient. Per-call deadlines
+	// come from the context (ClientOptions.CallTimeout).
+	Client *http.Client
+}
+
+func (t *HTTPTransport) Do(ctx context.Context, addr, path string, body []byte) ([]byte, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimRight(addr, "/") + path
+	method := http.MethodPost
+	if path == pathHealth || path == pathReady {
+		method = http.MethodGet
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	return data, nil
+}
+
+// MemTransport connects a coordinator to in-process Workers by name —
+// the unit-test fabric (and the degrade-to-local path's building
+// block). It serves RPCs through Worker.ServeRPC, the same dispatch
+// real HTTP traffic uses.
+type MemTransport struct {
+	mu      sync.RWMutex
+	workers map[string]*Worker
+}
+
+// NewMemTransport returns an empty fabric.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{workers: make(map[string]*Worker)}
+}
+
+// Add connects w under addr.
+func (m *MemTransport) Add(addr string, w *Worker) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers[addr] = w
+}
+
+// Remove disconnects addr: subsequent RPCs fail like connections to a
+// dead host.
+func (m *MemTransport) Remove(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.workers, addr)
+}
+
+func (m *MemTransport) Do(ctx context.Context, addr, path string, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	w := m.workers[addr]
+	m.mu.RUnlock()
+	if w == nil {
+		return nil, fmt.Errorf("fleet: connect %s: no such worker", addr)
+	}
+	code, resp := w.ServeRPC(path, body)
+	if code != http.StatusOK {
+		return nil, &StatusError{Code: code, Msg: string(resp)}
+	}
+	return resp, nil
+}

@@ -137,6 +137,10 @@ type Metrics struct {
 	RejectedQuota    int64 `json:"rejected_quota"`
 	RejectedClosed   int64 `json:"rejected_closed"`
 
+	// Fleet snapshots the distributed backend's counters when the pool
+	// routes jobs to one (PoolOptions.Remote); nil on a local pool.
+	Fleet *FleetStats `json:"fleet,omitempty"`
+
 	// QueueWait is the admission latency of every admitted job (how
 	// long Compile blocked before the pool let it in). The phase
 	// histograms cover completed jobs only: Split is decomposition and
@@ -151,8 +155,14 @@ type Metrics struct {
 
 // Metrics returns the pool's full observability snapshot.
 func (p *Pool) Metrics() Metrics {
+	var fleet *FleetStats
+	if p.remote != nil {
+		fs := p.remote.FleetStats()
+		fleet = &fs
+	}
 	return Metrics{
 		PoolStats:        p.Stats(),
+		Fleet:            fleet,
 		RejectedOverload: p.m.rejectedOverload.Load(),
 		RejectedQuota:    p.m.rejectedQuota.Load(),
 		RejectedClosed:   p.m.rejectedClosed.Load(),
@@ -216,6 +226,27 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	b.val("pag_cache_bytes", float64(m.CacheBytes))
 	b.head("pag_cache_cap_bytes", "gauge", "Fragment-cache byte budget.")
 	b.val("pag_cache_cap_bytes", float64(m.CacheCapBytes))
+
+	if f := m.Fleet; f != nil {
+		b.head("pag_fleet_workers", "gauge", "Configured fleet workers.")
+		b.val("pag_fleet_workers", float64(f.Workers))
+		b.head("pag_fleet_workers_ready", "gauge", "Fleet workers currently routable.")
+		b.val("pag_fleet_workers_ready", float64(f.ReadyWorkers))
+		b.head("pag_fleet_remote_fragments_total", "counter", "Fragments evaluated on remote fleet workers.")
+		b.val("pag_fleet_remote_fragments_total", float64(f.RemoteFrags))
+		b.head("pag_fleet_local_fragments_total", "counter", "Fragments evaluated by the in-process fallback worker.")
+		b.val("pag_fleet_local_fragments_total", float64(f.LocalFrags))
+		b.head("pag_fleet_retries_total", "counter", "Fleet RPC attempts beyond the first against a live placement.")
+		b.val("pag_fleet_retries_total", float64(f.Retries))
+		b.head("pag_fleet_requeues_total", "counter", "Fragments re-placed on another worker after losing theirs.")
+		b.val("pag_fleet_requeues_total", float64(f.Requeues))
+		b.head("pag_fleet_corrupt_responses_total", "counter", "Worker responses failing the wire integrity check, discarded.")
+		b.val("pag_fleet_corrupt_responses_total", float64(f.CorruptResponses))
+		b.head("pag_fleet_worker_transitions_total", "counter", "Worker health-state transitions observed.")
+		b.val("pag_fleet_worker_transitions_total", float64(f.WorkerTransitions))
+		b.head("pag_fleet_degraded_jobs_total", "counter", "Jobs that degraded to local evaluation with a fleet configured.")
+		b.val("pag_fleet_degraded_jobs_total", float64(f.DegradedJobs))
+	}
 
 	b.hist("pag_queue_wait_seconds", "", "Admission wait of admitted jobs.", m.QueueWait)
 	b.hist("pag_phase_seconds", `phase="split"`, "Per-phase latency of completed jobs.", m.Split)

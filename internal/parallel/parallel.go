@@ -146,6 +146,18 @@ type Result struct {
 	// Demoted counts incremental-replay candidates this job demoted to
 	// live evaluation (inbound mismatch or speculation deadlock).
 	Demoted int
+
+	// Fleet-mode outcome (jobs evaluated through a RemoteEvaluator;
+	// all zero for local pool evaluation): RemoteFrags counts fragments
+	// this job evaluated on remote workers, FleetRetries RPC attempts
+	// beyond the first, FleetRequeues fragments transparently re-placed
+	// on another worker after theirs was lost mid-evaluation. Degraded
+	// reports that at least one fragment fell back to in-process
+	// evaluation because no remote worker was healthy.
+	RemoteFrags   int
+	FleetRetries  int
+	FleetRequeues int
+	Degraded      bool
 }
 
 // message is one cross-fragment attribute value: attr of node (a

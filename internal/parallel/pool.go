@@ -42,6 +42,11 @@ type PoolOptions struct {
 	// is what keeps one greedy client from monopolizing the admission
 	// queue of a shared daemon.
 	ClientQuota int
+	// Remote, when set, routes admitted jobs to a distributed
+	// evaluation backend (a pagd worker fleet) instead of the pool's
+	// in-process deques. Admission control, quotas, priorities and all
+	// outcome accounting still apply; only the evaluation itself moves.
+	Remote RemoteEvaluator
 }
 
 // DefaultQueueDepth is the admission-queue bound used when
@@ -120,6 +125,10 @@ type Pool struct {
 	// identical content, see cache.go.
 	cache *fragCache
 
+	// remote, when non-nil, evaluates admitted jobs on a worker fleet
+	// instead of the local deques (PoolOptions.Remote).
+	remote RemoteEvaluator
+
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
@@ -189,6 +198,7 @@ func NewPool(opts PoolOptions) *Pool {
 		sched:       newSched(opts.Workers),
 		adm:         newAdmission(opts.MaxInFlight, depth, opts.ClientQuota),
 		closeCh:     make(chan struct{}),
+		remote:      opts.Remote,
 	}
 	if cacheBytes > 0 {
 		p.cache = newFragCache(cacheBytes)
@@ -357,7 +367,13 @@ func (p *Pool) Compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	}
 	p.m.queueWait.observe(time.Since(enter))
 	defer p.adm.release(opts.Client)
-	res, err := p.compile(ctx, job, opts)
+	var res *Result
+	var err error
+	if p.remote != nil {
+		res, err = p.compileRemote(ctx, job, opts)
+	} else {
+		res, err = p.compile(ctx, job, opts)
+	}
 	switch {
 	case err == nil:
 		p.jobsDone.Add(1)
@@ -371,6 +387,27 @@ func (p *Pool) Compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 		p.jobsFailed.Add(1)
 	}
 	return res, err
+}
+
+// compileRemote is the admitted job body of a pool with a distributed
+// backend: option defaulting stays here (so fleet jobs get the same
+// width and analysis-cache behavior as local ones), evaluation happens
+// on the RemoteEvaluator.
+func (p *Pool) compileRemote(ctx context.Context, job cluster.Job, opts Options) (*Result, error) {
+	if opts.Mode == 0 {
+		opts.Mode = cluster.Combined
+	}
+	if opts.Mode == cluster.Combined && job.A == nil {
+		a, err := p.analysisFor(job.G)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: combined mode: %w", err)
+		}
+		job.A = a
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = p.workers
+	}
+	return p.remote.CompileRemote(ctx, job, opts)
 }
 
 // compile is the admitted job body: decompose, seed the shared deques,

@@ -177,7 +177,13 @@ func (c CodeCodec) EncodeShip(store func(text string) (int32, error), v any) ([]
 	return buf, nil
 }
 
-// DecodeShip implements ShipCodec.
+// DecodeShip implements ShipCodec. The payload may have crossed a real
+// network, so it is treated as hostile until proven otherwise: the
+// declared handle count must be coverable by the bytes present (each
+// handle costs at least two), handles must fit the librarian's int32
+// handle space, run lengths must be sane, and trailing garbage is an
+// error rather than silently ignored — a decoded descriptor always
+// re-encodes to a canonical byte string.
 func (c CodeCodec) DecodeShip(data []byte) (any, error) {
 	pos := 0
 	count, k := binary.Uvarint(data[pos:])
@@ -185,6 +191,9 @@ func (c CodeCodec) DecodeShip(data []byte) (any, error) {
 		return nil, fmt.Errorf("rope: bad descriptor encoding")
 	}
 	pos += k
+	if count > uint64(len(data)-pos)/2 {
+		return nil, fmt.Errorf("rope: descriptor declares %d handles in %d bytes", count, len(data)-pos)
+	}
 	var d *Descriptor
 	for i := uint64(0); i < count; i++ {
 		h, k := binary.Varint(data[pos:])
@@ -192,18 +201,30 @@ func (c CodeCodec) DecodeShip(data []byte) (any, error) {
 			return nil, fmt.Errorf("rope: bad descriptor handle")
 		}
 		pos += k
+		if h < 0 || h > int64(maxInt32) {
+			return nil, fmt.Errorf("rope: descriptor handle %d outside the handle space", h)
+		}
 		n, k := binary.Uvarint(data[pos:])
 		if k <= 0 {
 			return nil, fmt.Errorf("rope: bad descriptor length")
 		}
 		pos += k
+		if n > uint64(maxInt32) {
+			return nil, fmt.Errorf("rope: descriptor run length %d out of range", n)
+		}
 		d = ConcatDesc(d, HandleDesc(int32(h), int(n)))
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("rope: %d trailing bytes after descriptor", len(data)-pos)
 	}
 	if d == nil {
 		d = &Descriptor{}
 	}
 	return d, nil
 }
+
+// maxInt32 bounds wire-decoded handles and run lengths.
+const maxInt32 = int64(^uint32(0) >> 1)
 
 func asCode(v any) (Code, error) {
 	if v == nil {

@@ -192,6 +192,15 @@ type (
 	// cache hit/miss/eviction counters and the incremental-replay
 	// counters (partial hits, partial jobs, demotions).
 	PoolStats = parallel.PoolStats
+	// RemoteEvaluator is the distributed backend a Pool routes admitted
+	// jobs to when PoolOptions.Remote is set; internal/fleet provides
+	// the production implementation (a health-checked worker fleet with
+	// retry/requeue and graceful degradation to local evaluation).
+	RemoteEvaluator = parallel.RemoteEvaluator
+	// FleetStats is the distributed backend's health and fault-path
+	// snapshot inside Metrics: worker states, remote/local fragment
+	// counts, retries, requeues, corrupt responses, degraded jobs.
+	FleetStats = parallel.FleetStats
 )
 
 // DefaultCacheBytes is the fragment-cache budget a Pool uses when
