@@ -4,8 +4,8 @@
 GO ?= go
 
 # Benchmarks tracked in the BENCH_*.json perf trajectory.
-BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental|BenchmarkSustainedLoad|BenchmarkFleet
-BENCH_BASELINE = BENCH_PR7.json
+BENCH_TRACKED = BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental|BenchmarkSustainedLoad|BenchmarkFleet|BenchmarkAdaptive
+BENCH_BASELINE = BENCH_PR8.json
 
 .PHONY: all build test race bench bench-parallel bench-json benchstat bench-gate fuzz lint fmt check figures clean
 
@@ -48,10 +48,12 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -bench '$(BENCH_TRACKED)' -benchtime 2s -o /tmp/bench-new.json
 	$(GO) run ./cmd/benchjson -compare -fail-over 25 $(BENCH_BASELINE) /tmp/bench-new.json
 
-# Short-budget native fuzzing of the incremental-cache invariants.
+# Short-budget native fuzzing of the incremental-cache and planning
+# invariants.
 fuzz:
 	$(GO) test ./internal/tree -run XXX -fuzz FuzzHash -fuzztime 30s
 	$(GO) test ./internal/parallel -run XXX -fuzz FuzzInboundCanon -fuzztime 15s
+	$(GO) test ./internal/parallel -run XXX -fuzz FuzzPlan -fuzztime 15s
 	$(GO) test ./internal/rope -run XXX -fuzz FuzzShipCodec -fuzztime 15s
 
 lint:

@@ -27,6 +27,7 @@ import (
 	"pag/internal/pascal"
 	"pag/internal/rope"
 	"pag/internal/symtab"
+	"pag/internal/tree"
 	"pag/internal/vax"
 	"pag/internal/workload"
 )
@@ -83,6 +84,61 @@ func BenchmarkParallelPascal(b *testing.B) {
 			b.ReportMetric(float64(last.Frags), "frags")
 			b.SetBytes(int64(len(last.Program)))
 		})
+	}
+}
+
+// BenchmarkAdaptive measures what the grammar-plan cost planner buys
+// over the legacy size planner: the same job decomposed by both at
+// 2/4/8 workers, on the paper's Pascal workload and the appendix
+// grammar. ns/op is the full compile; msgs/op is the cross-fragment
+// attribute message count the planners compete on (the paper's §2.5
+// network-traffic economy) and frags the resulting width. Tracked by
+// the benchstat regression gate.
+func BenchmarkAdaptive(b *testing.B) {
+	pascalJob, err := experiments.Job()
+	if err != nil {
+		b.Fatal(err)
+	}
+	el := exprlang.MustNew()
+	ea, err := ag.Analyze(el.G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eroot, err := el.Parse(exprlang.Generate(10, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	exprJob := cluster.Job{G: el.G, A: ea, Root: eroot, Lex: el.TerminalAttrs}
+
+	jobs := []struct {
+		name string
+		job  cluster.Job
+		opts parallel.Options
+	}{
+		{"pascal", pascalJob, experiments.DefaultParallelOptions()},
+		{"exprlang", exprJob, parallel.Options{}},
+	}
+	for _, j := range jobs {
+		for _, planner := range []tree.Planner{tree.PlanSize, tree.PlanCost} {
+			for _, w := range []int{2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/plan=%v/workers=%d", j.name, planner, w), func(b *testing.B) {
+					opts := j.opts
+					opts.Workers = w
+					opts.Planner = planner
+					opts.NoCache = true
+					var last *parallel.Result
+					for i := 0; i < b.N; i++ {
+						res, err := parallel.Run(j.job, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = res
+					}
+					b.ReportMetric(float64(last.Messages), "msgs/op")
+					b.ReportMetric(float64(last.Frags), "frags")
+				})
+			}
+		}
 	}
 }
 

@@ -10,8 +10,9 @@
 // The default benchmark set is the perf-tracked suite: the real
 // multicore Pascal compile (BenchmarkParallelPascal) and the evaluator
 // micro-benchmarks (BenchmarkHotPath), the cache and incremental
-// replay suites, and the mixed-traffic service benchmark
-// (BenchmarkSustainedLoad).
+// replay suites, the mixed-traffic service benchmark
+// (BenchmarkSustainedLoad) and the planner comparison
+// (BenchmarkAdaptive).
 package main
 
 import (
@@ -50,10 +51,10 @@ type File struct {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental|BenchmarkSustainedLoad|BenchmarkFleet", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental|BenchmarkSustainedLoad|BenchmarkFleet|BenchmarkAdaptive", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1s", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package to benchmark")
-	out := flag.String("o", "BENCH_PR7.json", "output file")
+	out := flag.String("o", "BENCH_PR8.json", "output file")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json files: benchjson -compare old.json new.json")
 	failOver := flag.Float64("fail-over", 0, "with -compare: exit nonzero when any benchmark regresses by more than this percentage in ns/op, or gains any allocs/op on a zero-alloc baseline (0 = report only)")
 	flag.Parse()

@@ -39,6 +39,8 @@ type daemonRequest struct {
 	Source      string `json:"source,omitempty"`
 	Workload    string `json:"workload,omitempty"`
 	Mode        string `json:"mode,omitempty"`
+	Plan        string `json:"plan,omitempty"`
+	AutoWidth   bool   `json:"auto_width,omitempty"`
 	NoLibrarian bool   `json:"no_librarian,omitempty"`
 	UIDChain    bool   `json:"uid_chain,omitempty"`
 }
@@ -65,6 +67,8 @@ func runDaemon(out io.Writer, cfg config, args []string) error {
 
 	req := daemonRequest{
 		Mode:        cfg.modeName,
+		Plan:        cfg.planner.String(),
+		AutoWidth:   cfg.autoWidth,
 		NoLibrarian: cfg.noLib,
 		UIDChain:    cfg.chain,
 	}

@@ -50,6 +50,7 @@ import (
 	"pag/internal/experiments"
 	"pag/internal/parallel"
 	"pag/internal/pascal"
+	"pag/internal/tree"
 	"pag/internal/workload"
 )
 
@@ -57,6 +58,8 @@ func main() {
 	machines := flag.Int("n", 1, "number of evaluator machines (1..6)")
 	mode := flag.String("mode", "combined", "evaluator: combined or dynamic")
 	gran := flag.Int("granularity", 0, "split granularity in bytes (0 = tree size / machines)")
+	plan := flag.String("plan", "size", `decomposition planner: "size" (legacy size-driven) or "cost" (grammar-plan cut costs break ties)`)
+	autoWidth := flag.Bool("auto-width", false, "batch and daemon modes: size each job's decomposition from the pool's phase-time cost model instead of the worker count")
 	noLib := flag.Bool("nolibrarian", false, "disable the string librarian")
 	chain := flag.Bool("uidchain", false, "propagate unique-id counters instead of per-evaluator bases")
 	gantt := flag.Bool("gantt", false, "print the machine activity chart")
@@ -76,6 +79,7 @@ func main() {
 
 	cfg := config{
 		machines: *machines, modeName: *mode, gran: *gran,
+		planName: *plan, autoWidth: *autoWidth,
 		noLib: *noLib, chain: *chain, gantt: *gantt, asm: *asm, quiet: *quiet,
 		wl: *wl, dump: *dump, batch: *batch, series: *series, workers: *workers, cacheBytes: *cacheBytes,
 		priority:  *priority,
@@ -88,9 +92,16 @@ func main() {
 }
 
 type config struct {
-	machines   int
-	modeName   string
-	gran       int
+	machines int
+	modeName string
+	gran     int
+	// planName is the -plan operand; planner is its parsed value,
+	// resolved once in run (ParsePlanner rejects unknown names before
+	// any mode dispatch). autoWidth lets the batch pool (or the daemon)
+	// size each job's decomposition from its cost model.
+	planName   string
+	planner    tree.Planner
+	autoWidth  bool
 	noLib      bool
 	chain      bool
 	gantt      bool
@@ -129,6 +140,16 @@ func run(out io.Writer, cfg config, args []string) error {
 	if cfg.series && !cfg.batch {
 		return fmt.Errorf("-series is a -batch mode (an edit series compiles through one pool)")
 	}
+	// Resolve the planner and validate the granularity once, before any
+	// mode dispatch: a typo'd -plan or an impossible -granularity fails
+	// identically everywhere instead of being clamped or deferred.
+	var err error
+	if cfg.planner, err = tree.ParsePlanner(cfg.planName); err != nil {
+		return err
+	}
+	if cfg.gran != 0 && cfg.gran < tree.MinGranularity {
+		return &parallel.GranularityError{Granularity: cfg.gran}
+	}
 	if cfg.daemonURL != "" {
 		return runDaemon(out, cfg, args)
 	}
@@ -154,6 +175,9 @@ func run(out io.Writer, cfg config, args []string) error {
 	}
 	if cfg.priority != "" {
 		return fmt.Errorf("-priority classes order admission on the -batch pool; the simulator runs one job")
+	}
+	if cfg.autoWidth {
+		return fmt.Errorf("-auto-width sizes jobs from a pool's cost model; the simulator's width is -n (use -batch or -daemon)")
 	}
 
 	var src string
@@ -194,6 +218,7 @@ func run(out io.Writer, cfg config, args []string) error {
 	opts.Machines = cfg.machines
 	opts.Mode = mode
 	opts.Granularity = cfg.gran
+	opts.Planner = cfg.planner
 	opts.Librarian = !cfg.noLib
 	opts.UIDPreset = !cfg.chain
 
@@ -212,8 +237,8 @@ func run(out io.Writer, cfg config, args []string) error {
 	if !cfg.quiet {
 		fmt.Fprintf(out, "compiled on %d machine(s), %s evaluator: parse %v + evaluate %v\n",
 			cfg.machines, mode, res.ParseTime, res.EvalTime)
-		fmt.Fprintf(out, "fragments: %d %v, %d messages, %d payload bytes, %.1f%% attributes dynamic\n",
-			res.Frags, res.Decomp.Sizes(), res.Messages, res.Bytes,
+		fmt.Fprintf(out, "fragments: %d %v (%s plan, balance %.2f), %d messages, %d payload bytes, %.1f%% attributes dynamic\n",
+			res.Frags, res.Decomp.Sizes(), cfg.planner, res.Decomp.Balance(), res.Messages, res.Bytes,
 			res.Stats.DynamicFraction()*100)
 	}
 	if cfg.gantt {
@@ -278,6 +303,8 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 	opts := parallel.Options{
 		Mode:        mode,
 		Granularity: cfg.gran,
+		Planner:     cfg.planner,
+		AutoWidth:   cfg.autoWidth,
 		Librarian:   !cfg.noLib,
 		UIDPreset:   !cfg.chain,
 		Priority:    prio,
@@ -341,6 +368,10 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 			fmt.Fprintf(out, "%s: %d bytes of VAX assembly, %d fragment(s), %v (split %v + eval %v + splice %v)",
 				r.file, len(r.res.Program), r.res.Frags, r.res.WallTime,
 				r.res.SplitTime, r.res.EvalTime, r.res.SpliceTime)
+			fmt.Fprintf(out, ", %d message(s), balance %.2f", r.res.Messages, r.res.PlanStats.Balance)
+			if r.res.PlanStats.AutoWidth {
+				fmt.Fprintf(out, ", auto width %d", r.res.PlanStats.Width)
+			}
 			if r.res.PartialHits > 0 || r.res.Demoted > 0 {
 				fmt.Fprintf(out, ", %d/%d fragment(s) replayed incrementally", r.res.PartialHits, r.res.Frags)
 			}

@@ -3,6 +3,7 @@ package ag
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // rel is a dense dependency relation over n items: rel[i][j] means
@@ -198,6 +199,10 @@ type Analysis struct {
 	// ds[sym.Index] is the transitive induced dependency relation
 	// between the symbol's attributes (IDS closure).
 	ds []rel
+	// cutPlan caches the lazily built grammar-level decomposition plan
+	// (cutplan.go); it is a pure function of (G, a), so first-build
+	// wins and every caller shares it.
+	cutPlan atomic.Pointer[CutPlan]
 }
 
 // Phases returns the visit phases of sym.

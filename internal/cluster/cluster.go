@@ -134,6 +134,13 @@ type Options struct {
 	UIDPreset bool
 	// NoPriority disables priority attributes (ablation, §4.3).
 	NoPriority bool
+	// Planner selects the decomposition policy (default PlanSize, the
+	// legacy size-driven walk). PlanCost weighs split candidates by
+	// granularity fit minus the grammar plan's per-symbol cut cost. The
+	// real runtime (internal/parallel) uses the same policies, which is
+	// part of why its output is byte-identical to the simulator's at
+	// equal width.
+	Planner tree.Planner
 }
 
 // Result is the outcome of a parallel compilation.
@@ -255,7 +262,18 @@ func Run(job Job, opts Options) (*Result, error) {
 	// evaluator machines participate; the CPU cost of the decomposition
 	// is charged to the parser process below.
 	nodesBefore := root.Count()
-	decomp := tree.Decompose(root, gran, opts.Machines)
+	var costOf func(*ag.Symbol) int
+	if opts.Planner == tree.PlanCost {
+		// The grammar plan is a pure function of (grammar, analysis),
+		// so simulator and real runtime compute identical cut costs —
+		// and therefore identical decompositions — for the same job.
+		if job.A != nil {
+			costOf = job.A.CutPlan().CostOf()
+		} else {
+			costOf = ag.NewCutPlan(job.G, nil).CostOf()
+		}
+	}
+	decomp := tree.DecomposeWith(root, gran, opts.Machines, opts.Planner, costOf)
 	res.Decomp = decomp
 	res.Frags = decomp.NumFragments()
 

@@ -210,7 +210,19 @@ func (co *Coordinator) CompileRemote(ctx context.Context, job cluster.Job, opts 
 	if gran == 0 {
 		gran = tree.GranularityFor(root, opts.Fragments)
 	}
-	decomp := tree.Decompose(root, gran, opts.Fragments)
+	planStart := time.Now()
+	var costOf func(*ag.Symbol) int
+	if opts.Planner == tree.PlanCost {
+		// Same pure grammar plan as the local pool and the simulator,
+		// so fleet decompositions are identical at equal width.
+		if job.A != nil {
+			costOf = job.A.CutPlan().CostOf()
+		} else {
+			costOf = ag.NewCutPlan(job.G, nil).CostOf()
+		}
+	}
+	decomp := tree.DecomposeWith(root, gran, opts.Fragments, opts.Planner, costOf)
+	planTime := time.Since(planStart)
 	codeAttr := cluster.CodeAttr(job.G)
 	useLib := opts.Librarian && codeAttr >= 0
 	co.ensureLocal(job)
@@ -275,6 +287,12 @@ func (co *Coordinator) CompileRemote(ctx context.Context, job cluster.Job, opts 
 		Workers:   opts.Workers,
 		Decomp:    decomp,
 		Messages:  j.messages,
+		PlanStats: parallel.PlanStats{
+			Planner:  opts.Planner.String(),
+			PlanTime: planTime,
+			Width:    opts.Fragments,
+			Balance:  decomp.Balance(),
+		},
 	}
 	for _, f := range j.frags {
 		res.PerFrag = append(res.PerFrag, f.stats)

@@ -81,6 +81,7 @@ type cacheKey struct {
 	frags                            int         // decomposition width the digests describe
 	width                            int         // effective fragment cap (decomposition input)
 	gran                             int         // effective granularity (decomposition input)
+	planner                          tree.Planner
 	mode                             cluster.Mode
 	librarian, uidPreset, noPriority bool
 }
@@ -118,9 +119,19 @@ type cachedMsg struct {
 	toRoot bool
 	attr   int
 	wave   int
-	val    ag.Value
-	text   string
-	code   bool // text is the canonical form (val references handles)
+	// needs, when non-nil, lists the exact inbound instances (indices
+	// into fragRecord.inOrder, all < wave) this message's value may
+	// depend on, per the grammar plan's compacted incidence matrix: a
+	// same-node inbound attribute the plan proves transitively
+	// independent of this message's attribute is dropped from the
+	// prefix. Replay may ship the message once every listed instance
+	// has matched, proving waves earlier than the full prefix. nil
+	// keeps the legacy prefix semantics (inOrder[:wave]); an empty
+	// non-nil slice means "depends on nothing external".
+	needs []int32
+	val   ag.Value
+	text  string
+	code  bool // text is the canonical form (val references handles)
 }
 
 // inKey names one inbound attribute instance of a fragment in
@@ -239,11 +250,14 @@ type fragRecord struct {
 // instead of a parent), and every option that shapes evaluation inside
 // a fragment. Decomposition inputs (width, granularity) are
 // deliberately absent: two decompositions that happen to produce the
-// same fragment shape at the same id may share recordings.
+// same fragment shape at the same id may share recordings. The
+// planner IS present — a plan change must be a cache miss, never a
+// wrong replay (recordings carry plan-pruned replay prerequisites).
 type fragKey struct {
 	g                                *ag.Grammar
 	hash                             tree.Digest
 	id, parent                       int
+	planner                          tree.Planner
 	mode                             cluster.Mode
 	librarian, uidPreset, noPriority bool
 }

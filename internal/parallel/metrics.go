@@ -116,10 +116,44 @@ type poolMetrics struct {
 	eval      histogram
 	splice    histogram
 	wall      histogram
+	planSecs  histogram // decomposition planning, completed jobs only
 
 	rejectedOverload atomic.Int64
 	rejectedQuota    atomic.Int64
 	rejectedClosed   atomic.Int64
+
+	// Plan observability: completed jobs by planner, cross-fragment
+	// messages the cost planner's cuts avoided vs the size plan
+	// (positive contributions only — a counter must be monotone), and
+	// completed jobs by chosen decomposition width (slot 0 collects
+	// widths beyond the last bucket).
+	planSize        atomic.Int64
+	planCost        atomic.Int64
+	planMsgsAvoided atomic.Int64
+	planWidth       [maxPlanWidthBucket + 1]atomic.Int64
+}
+
+// maxPlanWidthBucket is the largest decomposition width with its own
+// slot in the chosen-width histogram; wider jobs share the overflow
+// slot. 32 covers rope.MaxHandleRanges and every realistic core count.
+const maxPlanWidthBucket = 32
+
+// observePlan files one completed job's planning outcome.
+func (m *poolMetrics) observePlan(ps *PlanStats) {
+	m.planSecs.observe(ps.PlanTime)
+	if ps.Planner == "cost" {
+		m.planCost.Add(1)
+		if ps.MessagesAvoided > 0 {
+			m.planMsgsAvoided.Add(int64(ps.MessagesAvoided))
+		}
+	} else {
+		m.planSize.Add(1)
+	}
+	w := ps.Width
+	if w < 1 || w > maxPlanWidthBucket {
+		w = 0
+	}
+	m.planWidth[w].Add(1)
 }
 
 // Metrics is a point-in-time snapshot of everything the pool can say
@@ -141,16 +175,27 @@ type Metrics struct {
 	// routes jobs to one (PoolOptions.Remote); nil on a local pool.
 	Fleet *FleetStats `json:"fleet,omitempty"`
 
+	// Plan observability: completed jobs by decomposition planner, the
+	// cross-fragment messages cost-planned cuts avoided vs the size
+	// plan, and completed jobs by chosen width (key 0 collects widths
+	// beyond the last tracked bucket).
+	PlanJobsSize        int64         `json:"plan_jobs_size"`
+	PlanJobsCost        int64         `json:"plan_jobs_cost"`
+	PlanMessagesAvoided int64         `json:"plan_messages_avoided"`
+	PlanWidths          map[int]int64 `json:"plan_widths,omitempty"`
+
 	// QueueWait is the admission latency of every admitted job (how
 	// long Compile blocked before the pool let it in). The phase
 	// histograms cover completed jobs only: Split is decomposition and
 	// fragment setup, Eval parallel attribute evaluation, Splice final
-	// program assembly, Wall the whole job.
+	// program assembly, Wall the whole job, PlanTime decomposition
+	// planning (grammar plan + cut selection, a slice of Split).
 	QueueWait Histogram `json:"queue_wait"`
 	Split     Histogram `json:"split"`
 	Eval      Histogram `json:"eval"`
 	Splice    Histogram `json:"splice"`
 	Wall      Histogram `json:"wall"`
+	PlanTime  Histogram `json:"plan_time"`
 }
 
 // Metrics returns the pool's full observability snapshot.
@@ -160,18 +205,31 @@ func (p *Pool) Metrics() Metrics {
 		fs := p.remote.FleetStats()
 		fleet = &fs
 	}
-	return Metrics{
-		PoolStats:        p.Stats(),
-		Fleet:            fleet,
-		RejectedOverload: p.m.rejectedOverload.Load(),
-		RejectedQuota:    p.m.rejectedQuota.Load(),
-		RejectedClosed:   p.m.rejectedClosed.Load(),
-		QueueWait:        p.m.queueWait.snapshot(),
-		Split:            p.m.split.snapshot(),
-		Eval:             p.m.eval.snapshot(),
-		Splice:           p.m.splice.snapshot(),
-		Wall:             p.m.wall.snapshot(),
+	m := Metrics{
+		PoolStats:           p.Stats(),
+		Fleet:               fleet,
+		RejectedOverload:    p.m.rejectedOverload.Load(),
+		RejectedQuota:       p.m.rejectedQuota.Load(),
+		RejectedClosed:      p.m.rejectedClosed.Load(),
+		PlanJobsSize:        p.m.planSize.Load(),
+		PlanJobsCost:        p.m.planCost.Load(),
+		PlanMessagesAvoided: p.m.planMsgsAvoided.Load(),
+		QueueWait:           p.m.queueWait.snapshot(),
+		Split:               p.m.split.snapshot(),
+		Eval:                p.m.eval.snapshot(),
+		Splice:              p.m.splice.snapshot(),
+		Wall:                p.m.wall.snapshot(),
+		PlanTime:            p.m.planSecs.snapshot(),
 	}
+	for w := range p.m.planWidth {
+		if n := p.m.planWidth[w].Load(); n > 0 {
+			if m.PlanWidths == nil {
+				m.PlanWidths = make(map[int]int64)
+			}
+			m.PlanWidths[w] = n
+		}
+	}
+	return m
 }
 
 // WritePrometheus encodes the snapshot in Prometheus text exposition
@@ -183,9 +241,15 @@ func (p *Pool) Metrics() Metrics {
 //	pag_workers, pag_max_in_flight                        gauges
 //	pag_cache_{hits,misses,evictions,partial_hits,partial_jobs,demotions}_total
 //	pag_cache_{entries,bytes,cap_bytes}                   gauges
+//	pag_plan_jobs_total{planner="size"|"cost"}            counter
+//	pag_plan_messages_avoided_total                       counter
+//	pag_plan_width_total{width="N"}                       counter
+//	pag_plan_balance                                      gauge
+//	pag_messages_total                                    counter
 //	pag_queue_wait_seconds                                histogram
 //	pag_phase_seconds{phase="split"|"eval"|"splice"}      histogram
 //	pag_job_wall_seconds                                  histogram
+//	pag_plan_seconds                                      histogram
 func (m Metrics) WritePrometheus(w io.Writer) error {
 	b := &promWriter{w: w}
 	b.head("pag_jobs_total", "counter", "Jobs finished, by outcome.")
@@ -227,6 +291,24 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	b.head("pag_cache_cap_bytes", "gauge", "Fragment-cache byte budget.")
 	b.val("pag_cache_cap_bytes", float64(m.CacheCapBytes))
 
+	b.head("pag_plan_jobs_total", "counter", "Completed jobs, by decomposition planner.")
+	b.val(`pag_plan_jobs_total{planner="size"}`, float64(m.PlanJobsSize))
+	b.val(`pag_plan_jobs_total{planner="cost"}`, float64(m.PlanJobsCost))
+	b.head("pag_plan_messages_avoided_total", "counter", "Cross-fragment messages avoided by cost-planned cuts vs the size plan.")
+	b.val("pag_plan_messages_avoided_total", float64(m.PlanMessagesAvoided))
+	if len(m.PlanWidths) > 0 {
+		b.head("pag_plan_width_total", "counter", "Completed jobs by chosen decomposition width (0 = beyond the last bucket).")
+		for w := 0; w <= maxPlanWidthBucket; w++ {
+			if n, ok := m.PlanWidths[w]; ok {
+				b.val(fmt.Sprintf(`pag_plan_width_total{width="%d"}`, w), float64(n))
+			}
+		}
+	}
+	b.head("pag_plan_balance", "gauge", "Size balance of the most recent decomposition (1 = perfectly even).")
+	b.val("pag_plan_balance", m.LastBalance)
+	b.head("pag_messages_total", "counter", "Cross-fragment attribute messages across completed jobs.")
+	b.val("pag_messages_total", float64(m.MessagesTotal))
+
 	if f := m.Fleet; f != nil {
 		b.head("pag_fleet_workers", "gauge", "Configured fleet workers.")
 		b.val("pag_fleet_workers", float64(f.Workers))
@@ -253,6 +335,7 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	b.hist("pag_phase_seconds", `phase="eval"`, "", m.Eval)
 	b.hist("pag_phase_seconds", `phase="splice"`, "", m.Splice)
 	b.hist("pag_job_wall_seconds", "", "Wall time of completed jobs.", m.Wall)
+	b.hist("pag_plan_seconds", "", "Decomposition planning time of completed jobs.", m.PlanTime)
 	return b.err
 }
 

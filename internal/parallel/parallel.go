@@ -69,6 +69,19 @@ type Options struct {
 	Fragments int
 	// Mode selects the evaluation strategy (default Combined).
 	Mode cluster.Mode
+	// Planner selects the decomposition policy (default PlanSize, the
+	// legacy size-driven walk). PlanCost weighs split candidates by
+	// granularity fit minus the grammar plan's per-symbol cut cost, so
+	// low-traffic boundaries win ties. Planner identity is part of the
+	// fragment-cache key: switching planners is a cache miss, never a
+	// wrong replay.
+	Planner tree.Planner
+	// AutoWidth, with Fragments == 0, picks the decomposition width per
+	// tree from the pool's phase-time EWMAs (eval ns/byte vs per-fragment
+	// split+splice overhead) instead of defaulting to Workers. The first
+	// jobs after pool start run at the Workers default until the model
+	// has samples.
+	AutoWidth bool
 	// Librarian routes code attributes through a shared rope.Librarian:
 	// fragments exchange O(1) descriptors instead of rope structure.
 	// With the librarian enabled the effective Fragments request (and
@@ -138,6 +151,8 @@ type Result struct {
 	// StoredStrings and StoredBytes report librarian activity.
 	StoredStrings int
 	StoredBytes   int
+	// PlanStats describes the decomposition planning of this job.
+	PlanStats PlanStats
 	// PartialHits counts fragments this job completed by incremental
 	// per-fragment cache replay (edited-tree reuse). Whole-job cache
 	// hits replay every fragment but report zero here — they show up in
@@ -158,6 +173,34 @@ type Result struct {
 	FleetRetries  int
 	FleetRequeues int
 	Degraded      bool
+}
+
+// PlanStats reports how one job's decomposition was planned: which
+// planner cut the tree, how long planning (grammar plan + cut
+// selection) took, the effective width and whether the auto-width
+// model chose it, the resulting size balance (tree.Decomposition
+// Balance), the total plan cut cost of the chosen cuts, and — for the
+// cost planner — how many cross-fragment attribute messages the chosen
+// cuts avoid relative to what the size planner would have cut
+// (negative if the cost plan trades messages for balance).
+type PlanStats struct {
+	Planner         string        `json:"planner"`
+	PlanTime        time.Duration `json:"plan_time"`
+	Width           int           `json:"width"`
+	AutoWidth       bool          `json:"auto_width"`
+	Balance         float64       `json:"balance"`
+	CutCost         int           `json:"cut_cost"`
+	MessagesAvoided int           `json:"messages_avoided"`
+}
+
+// GranularityError reports a caller-supplied Options.Granularity below
+// the splitter's floor (tree.MinGranularity, the §2.5 bound under
+// which per-fragment runtime overhead dominates evaluation). The pool
+// rejects it up front instead of silently clamping.
+type GranularityError struct{ Granularity int }
+
+func (e *GranularityError) Error() string {
+	return fmt.Sprintf("parallel: granularity %d below minimum %d", e.Granularity, tree.MinGranularity)
 }
 
 // message is one cross-fragment attribute value: attr of node (a
@@ -264,6 +307,13 @@ type outKey struct {
 type rt struct {
 	job  cluster.Job
 	opts Options
+
+	// plan is the grammar's decomposition plan (ag.CutPlan), set when
+	// the job has an OAG analysis. Recording uses its incidence matrix
+	// to prune each outbound message's replay prerequisites down to the
+	// inbound instances the message can actually depend on, so cached
+	// waves prove earlier on replay.
+	plan *ag.CutPlan
 
 	frags  []*frag
 	leafOf map[int]*tree.Node // child fragment id -> remote leaf in parent
@@ -625,21 +675,47 @@ func (r *rt) stepWait(f *frag) bool {
 }
 
 // advanceReplay ships every recorded outbound message of wait-mode
-// candidate f whose wave has been proven: a message of wave w was
-// recorded after receiving exactly the instances inOrder[:w], so once
-// those have all arrived with matching values, the message's value is
-// (by purity) a function of validated inputs and the unchanged subtree
-// — exact, not speculative. Messages are recorded in send order with
-// nondecreasing waves, so a single cursor suffices.
+// candidate f whose prerequisites have been proven. A message of wave
+// w was recorded after receiving exactly the instances inOrder[:w], so
+// once those have all arrived with matching values, the message's
+// value is (by purity) a function of validated inputs and the
+// unchanged subtree — exact, not speculative. Messages carrying a
+// plan-pruned needs set replay on the stronger condition that just
+// those instances have matched: the grammar plan proved the rest of
+// the prefix cannot reach the message's attribute, so a wave can prove
+// out of arrival order. Messages are recorded in send order with
+// nondecreasing waves; the cursor advances over the proven head, and
+// needs-bearing messages past it are re-scanned (replayMsgs' emitted
+// dedup makes the re-scan idempotent).
 func (r *rt) advanceReplay(f *frag) {
 	c := f.cand
 	for f.covered < len(c.inOrder) && f.seen[c.inOrder[f.covered]] {
 		f.covered++
 	}
-	for f.nextMsg < len(c.msgs) && c.msgs[f.nextMsg].wave <= f.covered {
+	for f.nextMsg < len(c.msgs) && r.msgProven(f, &c.msgs[f.nextMsg]) {
 		r.replayMsgs(f, c.msgs[f.nextMsg:f.nextMsg+1])
 		f.nextMsg++
 	}
+	for i := f.nextMsg; i < len(c.msgs); i++ {
+		if m := &c.msgs[i]; m.needs != nil && r.msgProven(f, m) {
+			r.replayMsgs(f, c.msgs[i:i+1])
+		}
+	}
+}
+
+// msgProven reports whether wait-mode candidate f has validated every
+// inbound instance recorded message m may depend on: the plan-pruned
+// needs set when present, the full wave prefix otherwise.
+func (r *rt) msgProven(f *frag, m *cachedMsg) bool {
+	if m.needs == nil {
+		return m.wave <= f.covered
+	}
+	for _, ni := range m.needs {
+		if !f.seen[f.cand.inOrder[ni]] {
+			return false
+		}
+	}
+	return true
 }
 
 // fpKey memoizes a fingerprint by value identity plus codec (the same
@@ -879,6 +955,57 @@ func (r *rt) finalizeRecord(f *frag) {
 		rec.inOrder[i] = obs[i].key
 	}
 	rec.inbound = in
+	r.pruneNeeds(f, rec)
+}
+
+// pruneNeeds tightens each recorded outbound message's replay
+// prerequisites from the full wave prefix down to the inbound
+// instances the message can actually depend on, per the grammar plan's
+// compacted incidence matrix. An outbound message defines an attribute
+// of one symbol instance — f's own root going up, the child fragment's
+// root going down — and an inbound instance at that SAME node whose
+// attribute the plan proves transitively independent (no IDS path to
+// the message's attribute in ANY tree) cannot have influenced the
+// value; it is dropped from the prerequisites. Inbound instances at
+// other nodes are always kept: the plan's incidence matrix only
+// relates attributes of one symbol instance, so cross-node paths stay
+// conservatively assumed. Pruning happens at record time only;
+// replayers just consume the stored index sets, so a plan change is
+// absorbed by the cache key (planner identity), never by re-deriving
+// needs against a different plan.
+func (r *rt) pruneNeeds(f *frag, rec *fragRecord) {
+	if r.plan == nil {
+		return
+	}
+	for i := range rec.msgs {
+		m := &rec.msgs[i]
+		if m.wave == 0 {
+			continue
+		}
+		// The node whose same-node inbound instances the plan can
+		// reason about: an upward message is a synthesized attribute of
+		// f's root (inbound twins arrive at rootSlot); a downward one is
+		// an inherited attribute of child m.target's root (inbound twins
+		// arrive at the remote leaf standing for that child).
+		sym, sameLeaf := f.root.Sym, rootSlot
+		if m.toRoot {
+			sym, sameLeaf = r.frags[m.target].root.Sym, m.target
+		}
+		if !r.plan.Exact(sym) {
+			continue
+		}
+		needs := make([]int32, 0, m.wave)
+		for j := 0; j < m.wave; j++ {
+			k := rec.inOrder[j]
+			if k.leaf == sameLeaf && r.plan.Independent(sym, k.attr, m.attr) {
+				continue
+			}
+			needs = append(needs, int32(j))
+		}
+		if len(needs) < m.wave {
+			m.needs = needs
+		}
+	}
 }
 
 // initFrag builds the fragment's evaluator (the expensive dependency

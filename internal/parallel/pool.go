@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -129,6 +130,25 @@ type Pool struct {
 	// instead of the local deques (PoolOptions.Remote).
 	remote RemoteEvaluator
 
+	// cutPlans caches one grammar-level decomposition plan (ag.CutPlan)
+	// per grammar for jobs WITHOUT an OAG analysis (dynamic mode);
+	// analyzed grammars share the plan hung off the analysis itself.
+	cutPlans sync.Map // *ag.Grammar -> *ag.CutPlan
+
+	// Auto-width cost model state: exponentially weighted moving
+	// averages of evaluation cost per linearized tree size unit and of
+	// per-fragment runtime overhead (split + splice), trained by every
+	// completed local job. Stored as float64 bits; zero means untrained
+	// (auto-width falls back to the Workers default).
+	ewmaEvalNsPerByte     atomic.Uint64
+	ewmaOverheadNsPerFrag atomic.Uint64
+
+	// Plan observability: cross-fragment messages across completed
+	// local jobs, and the size balance of the latest decomposition
+	// (float64 bits).
+	messagesTotal atomic.Int64
+	lastBalance   atomic.Uint64
+
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
@@ -167,6 +187,15 @@ type PoolStats struct {
 	CachePartialHits int64 `json:"partial_hits"`
 	CachePartialJobs int64 `json:"partial_jobs"`
 	CacheDemoted     int64 `json:"partial_demotions"`
+
+	// Decomposition-plan observability: total cross-fragment attribute
+	// messages across completed local jobs, the size balance of the
+	// most recent decomposition, and the auto-width cost model's
+	// current EWMAs (zero until the first completed job trains them).
+	MessagesTotal         int64   `json:"messages_total"`
+	LastBalance           float64 `json:"last_balance"`
+	AutoEvalNsPerByte     float64 `json:"auto_eval_ns_per_byte"`
+	AutoOverheadNsPerFrag float64 `json:"auto_overhead_ns_per_frag"`
 }
 
 // NewPool starts the worker goroutines and returns the ready pool.
@@ -273,6 +302,10 @@ func (p *Pool) Stats() PoolStats {
 		st.CachePartialJobs = c.partialJobs.Load()
 		st.CacheDemoted = c.demoted.Load()
 	}
+	st.MessagesTotal = p.messagesTotal.Load()
+	st.LastBalance = math.Float64frombits(p.lastBalance.Load())
+	st.AutoEvalNsPerByte = math.Float64frombits(p.ewmaEvalNsPerByte.Load())
+	st.AutoOverheadNsPerFrag = math.Float64frombits(p.ewmaOverheadNsPerFrag.Load())
 	return st
 }
 
@@ -317,6 +350,66 @@ func (p *Pool) acquire(ctx context.Context, opts Options) error {
 	return err
 }
 
+// ewmaAlpha is the smoothing factor of the auto-width cost model's
+// moving averages: recent jobs dominate (the workload mix drifts) but
+// one outlier job cannot swing the model.
+const ewmaAlpha = 0.2
+
+// ewmaUpdate folds one sample into a float64-bits EWMA cell with a CAS
+// loop. The first positive sample seeds the average directly;
+// non-positive or non-finite samples are discarded.
+func ewmaUpdate(a *atomic.Uint64, sample float64) {
+	if sample <= 0 || math.IsInf(sample, 0) || math.IsNaN(sample) {
+		return
+	}
+	for {
+		old := a.Load()
+		next := sample
+		if cur := math.Float64frombits(old); cur > 0 {
+			next = cur + ewmaAlpha*(sample-cur)
+		}
+		if a.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// autoWidthFor picks the decomposition width for a tree of the given
+// linearized size from the trained cost model: with evaluation cost
+// e·bytes/w spread across w fragments and per-fragment overhead o·w,
+// total time e·bytes/w + o·w is minimized at w* = sqrt(e·bytes/o).
+// Returns 0 while the model is untrained (either EWMA empty), telling
+// the caller to keep the Workers default.
+func (p *Pool) autoWidthFor(bytes, maxWidth int) int {
+	e := math.Float64frombits(p.ewmaEvalNsPerByte.Load())
+	o := math.Float64frombits(p.ewmaOverheadNsPerFrag.Load())
+	if e <= 0 || o <= 0 || bytes <= 0 {
+		return 0
+	}
+	w := int(math.Round(math.Sqrt(e * float64(bytes) / o)))
+	if w < 1 {
+		w = 1
+	}
+	if w > maxWidth {
+		w = maxWidth
+	}
+	return w
+}
+
+// cutPlanFor returns the grammar-level decomposition plan, shared via
+// the analysis when one exists (exact wave structure) or via the
+// pool's per-grammar cache otherwise (conservative dynamic-mode plan).
+func (p *Pool) cutPlanFor(g *ag.Grammar, a *ag.Analysis) *ag.CutPlan {
+	if a != nil {
+		return a.CutPlan()
+	}
+	if cp, ok := p.cutPlans.Load(g); ok {
+		return cp.(*ag.CutPlan)
+	}
+	cp, _ := p.cutPlans.LoadOrStore(g, ag.NewCutPlan(g, nil))
+	return cp.(*ag.CutPlan)
+}
+
 // analysisFor returns the shared OAG analysis of g, computing it on
 // first use. Concurrent first users may both run the analysis; the
 // result is deterministic and one copy wins, so the cache stays
@@ -354,6 +447,12 @@ func (p *Pool) Compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	if err := ctx.Err(); err != nil {
 		p.jobsCancelled.Add(1)
 		return nil, err
+	}
+	// A caller-supplied granularity below the splitter's floor is a
+	// request error, rejected before admission instead of silently
+	// clamped (Decompose itself still clamps its 0-means-derive input).
+	if opts.Granularity != 0 && opts.Granularity < tree.MinGranularity {
+		return nil, &GranularityError{Granularity: opts.Granularity}
 	}
 	enter := time.Now()
 	if err := p.acquire(ctx, opts); err != nil {
@@ -426,10 +525,27 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	if opts.Workers <= 0 {
 		opts.Workers = p.workers
 	}
+	// Auto-width applies only when the caller did not pin a width; the
+	// decision itself needs the cloned tree's size, below.
+	wantAuto := opts.AutoWidth && opts.Fragments <= 0
 	if opts.Fragments <= 0 {
 		opts.Fragments = opts.Workers
 	}
-	// Validate the requested decomposition width against the
+	start := time.Now()
+
+	useCache := p.cache != nil && !opts.NoCache
+
+	// The parser side: clone and decompose, same policy as the cluster.
+	root := job.Root.Clone()
+	treeBytes := root.Size() // whole-tree size; per-fragment after the cuts
+	autoChosen := false
+	if wantAuto {
+		if w := p.autoWidthFor(treeBytes, opts.Workers); w > 0 {
+			opts.Fragments = w
+			autoChosen = true
+		}
+	}
+	// Validate the effective decomposition width against the
 	// librarian's handle-range layout before doing any work: a wider
 	// librarian run would panic mid-evaluation when a fragment claims
 	// an out-of-range handle base. Rejecting the request up front (for
@@ -439,17 +555,33 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 		return nil, fmt.Errorf("parallel: %d fragments (from %d workers) exceed the librarian's %d handle ranges",
 			opts.Fragments, opts.Workers, rope.MaxHandleRanges)
 	}
-	start := time.Now()
-
-	useCache := p.cache != nil && !opts.NoCache
-
-	// The parser side: clone and decompose, same policy as the cluster.
-	root := job.Root.Clone()
 	gran := opts.Granularity
 	if gran == 0 {
 		gran = tree.GranularityFor(root, opts.Fragments)
 	}
-	decomp := tree.Decompose(root, gran, opts.Fragments)
+	// Plan the cuts. The cost planner needs the grammar plan's
+	// per-symbol cut costs; it also prices what the size planner would
+	// have cut on the same (still unmutated) tree, so the job can
+	// report the cross-fragment messages its cuts avoid.
+	planStart := time.Now()
+	var costOf func(*ag.Symbol) int
+	var plan *ag.CutPlan
+	msgsAvoided, cutCost := 0, 0
+	if opts.Planner == tree.PlanCost {
+		plan = p.cutPlanFor(job.G, job.A)
+		costOf = plan.CostOf()
+		for _, n := range tree.SimulateCuts(root, gran, opts.Fragments, tree.PlanSize, nil) {
+			msgsAvoided += plan.CutMessages(n.Sym)
+		}
+	}
+	decomp := tree.DecomposeWith(root, gran, opts.Fragments, opts.Planner, costOf)
+	if plan != nil {
+		for _, f := range decomp.Frags[1:] {
+			msgsAvoided -= plan.CutMessages(f.Root.Sym)
+			cutCost += plan.CutCost(f.Root.Sym)
+		}
+	}
+	planTime := time.Since(planStart)
 
 	// Identify the code attribute of the start symbol. The
 	// decomposition is never wider than the validated Fragments
@@ -457,9 +589,13 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	codeAttr := cluster.CodeAttr(job.G)
 	useLib := opts.Librarian && codeAttr >= 0
 
+	if plan == nil && job.A != nil {
+		plan = job.A.CutPlan()
+	}
 	r := &rt{
 		job:       job,
 		opts:      opts,
+		plan:      plan,
 		leafOf:    make(map[int]*tree.Node),
 		lib:       p.libs.Get().(*rope.Librarian),
 		useLib:    useLib,
@@ -494,6 +630,7 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 			frags:      decomp.NumFragments(),
 			width:      opts.Fragments,
 			gran:       gran,
+			planner:    opts.Planner,
 			mode:       opts.Mode,
 			librarian:  opts.Librarian,
 			uidPreset:  opts.UIDPreset,
@@ -510,6 +647,7 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 					hash:       digs[i],
 					id:         f.ID,
 					parent:     f.Parent,
+					planner:    opts.Planner,
 					mode:       opts.Mode,
 					librarian:  opts.Librarian,
 					uidPreset:  opts.UIDPreset,
@@ -626,6 +764,15 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 		Workers:   opts.Workers,
 		Decomp:    decomp,
 		Messages:  int(r.messages.Load()),
+		PlanStats: PlanStats{
+			Planner:         opts.Planner.String(),
+			PlanTime:        planTime,
+			Width:           opts.Fragments,
+			AutoWidth:       autoChosen,
+			Balance:         decomp.Balance(),
+			CutCost:         cutCost,
+			MessagesAvoided: msgsAvoided,
+		},
 	}
 	for _, f := range r.frags {
 		res.PerFrag = append(res.PerFrag, f.stats)
@@ -684,5 +831,13 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	res.EvalTime = evalDone.Sub(splitDone)
 	res.SpliceTime = now.Sub(evalDone)
 	res.WallTime = now.Sub(start)
+	// Train the auto-width cost model and file the plan observability
+	// counters (pool stats + pag_plan_* metrics).
+	ewmaUpdate(&p.ewmaEvalNsPerByte, float64(res.EvalTime.Nanoseconds())/float64(treeBytes))
+	ewmaUpdate(&p.ewmaOverheadNsPerFrag,
+		float64((res.SplitTime+res.SpliceTime).Nanoseconds())/float64(res.Frags))
+	p.messagesTotal.Add(int64(res.Messages))
+	p.lastBalance.Store(math.Float64bits(res.PlanStats.Balance))
+	p.m.observePlan(&res.PlanStats)
 	return res, nil
 }

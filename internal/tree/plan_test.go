@@ -1,0 +1,156 @@
+package tree_test
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/pascal"
+	"pag/internal/tree"
+	"pag/internal/workload"
+)
+
+// TestPlanCostCutsSplitEligible checks the cost planner's feasibility
+// invariant: every fragment root it chooses is a split-eligible node —
+// a non-terminal, non-remote node whose grammar symbol permits
+// splitting and whose subtree clears the size floor. The cost score
+// may only reorder ties between eligible candidates, never admit an
+// ineligible one.
+func TestPlanCostCutsSplitEligible(t *testing.T) {
+	l := pascal.MustNew()
+	for _, cfg := range []workload.Config{workload.Tiny(), workload.Small()} {
+		job, err := l.ClusterJob(workload.Generate(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		costOf := job.A.CutPlan().CostOf()
+		for width := 2; width <= 8; width++ {
+			root := job.Root.Clone()
+			gran := tree.GranularityFor(root, width)
+			d := tree.DecomposeWith(root, gran, width, tree.PlanCost, costOf)
+			for _, f := range d.Frags[1:] {
+				sym := f.Root.Sym
+				if sym.Terminal || !sym.Split || f.Root.Remote {
+					t.Errorf("width %d: fragment %d rooted at ineligible symbol %s", width, f.ID, sym.Name)
+				}
+				// The size floor of costCuts: the larger of the
+				// grammar's MinSplitSize and granularity/5 (§2.5: a
+				// subtree below a fifth of the fragment budget costs
+				// more in messages than it saves in evaluation).
+				floor := sym.MinSplitSize
+				if g := gran / 5; g > floor {
+					floor = g
+				}
+				if size := f.Root.Size(); size < floor {
+					t.Errorf("width %d: fragment %d size %d below floor %d for %s",
+						width, f.ID, size, floor, sym.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCostDeterministic decomposes the same tree repeatedly under
+// the cost planner and requires identical cuts each time: same
+// fragment count, same parent links, same post-cut digests. The
+// greedy score ordering must be a total order (score, then preorder
+// rank), never dependent on map iteration or allocation addresses.
+func TestPlanCostDeterministic(t *testing.T) {
+	l := pascal.MustNew()
+	job, err := l.ClusterJob(workload.Generate(workload.Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	costOf := job.A.CutPlan().CostOf()
+	for width := 2; width <= 8; width++ {
+		ref := tree.DecomposeWith(job.Root.Clone(), tree.GranularityFor(job.Root, width), width, tree.PlanCost, costOf)
+		refDigests := ref.Digests()
+		for run := 0; run < 3; run++ {
+			d := tree.DecomposeWith(job.Root.Clone(), tree.GranularityFor(job.Root, width), width, tree.PlanCost, costOf)
+			if d.NumFragments() != ref.NumFragments() {
+				t.Fatalf("width %d run %d: %d fragments, want %d", width, run, d.NumFragments(), ref.NumFragments())
+			}
+			digests := d.Digests()
+			for i := range d.Frags {
+				if d.Frags[i].Parent != ref.Frags[i].Parent {
+					t.Errorf("width %d run %d: fragment %d parent %d, want %d",
+						width, run, i, d.Frags[i].Parent, ref.Frags[i].Parent)
+				}
+				if digests[i] != refDigests[i] {
+					t.Errorf("width %d run %d: fragment %d digest differs", width, run, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCostStableUnderOutsideEdit extends the re-split stability
+// property to the cost planner: a same-length token edit outside a
+// fragment must leave that fragment's cut placement and post-cut hash
+// unchanged, because the incremental cache replays cost-planned
+// decompositions by the same fragment digests as size-planned ones.
+func TestPlanCostStableUnderOutsideEdit(t *testing.T) {
+	base := workload.Generate(workload.Tiny())
+	edits := []struct{ name, old, new string }{
+		{"main-operand", "(gtotal - gtotal)", "(gtotal - gcount)"},
+		{"func-body", "(p0 - 6)", "(p0 - 7)"},
+	}
+	l := pascal.MustNew()
+	baseJob, err := l.ClusterJob(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costOf := baseJob.A.CutPlan().CostOf()
+	for _, e := range edits {
+		t.Run(e.name, func(t *testing.T) {
+			edited := strings.Replace(base, e.old, e.new, 1)
+			if edited == base {
+				t.Fatalf("edit target %q not in source", e.old)
+			}
+			editedJob, err := l.ClusterJob(edited)
+			if err != nil {
+				t.Fatal(err)
+			}
+			claims := 0
+			for width := 2; width <= 8; width++ {
+				a := baseJob.Root.Clone()
+				b := editedJob.Root.Clone()
+				da := tree.DecomposeWith(a, tree.GranularityFor(a, width), width, tree.PlanCost, costOf)
+				db := tree.DecomposeWith(b, tree.GranularityFor(b, width), width, tree.PlanCost, costOf)
+				if da.NumFragments() != db.NumFragments() {
+					continue // cut placement not stable at this width; no claim
+				}
+				stable := true
+				for i := range da.Frags {
+					if da.Frags[i].Parent != db.Frags[i].Parent {
+						stable = false
+						break
+					}
+				}
+				if !stable {
+					continue
+				}
+				claims++
+				ha, hb := da.Digests(), db.Digests()
+				changed := 0
+				for i := range da.Frags {
+					same := fragTokens(da.Frags[i].Root) == fragTokens(db.Frags[i].Root)
+					if same && ha[i] != hb[i] {
+						t.Errorf("width %d: fragment %d untouched by edit but hash changed", width, i)
+					}
+					if !same {
+						changed++
+					}
+				}
+				if changed == 0 {
+					t.Errorf("width %d: edit %s touched no fragment — bad test setup", width, e.name)
+				}
+				if changed == da.NumFragments() && da.NumFragments() > 1 {
+					t.Errorf("width %d: edit %s touched every fragment — nothing left to reuse", width, e.name)
+				}
+			}
+			if claims == 0 {
+				t.Errorf("edit %s: no width had stable cost-plan cuts — property never exercised", e.name)
+			}
+		})
+	}
+}

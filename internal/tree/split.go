@@ -2,7 +2,10 @@ package tree
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"pag/internal/ag"
 )
 
 // Fragment is one separately evaluated piece of a decomposed parse
@@ -18,13 +21,24 @@ type Fragment struct {
 // Decomposition is the result of splitting a parse tree.
 type Decomposition struct {
 	Frags []*Fragment
+
+	// children[id] lists the fragments directly below fragment id, in
+	// ID order. Built once at decompose time so the splice and fleet
+	// paths never re-scan the fragment list per lookup.
+	children [][]int
 }
 
 // NumFragments returns the number of fragments.
 func (d *Decomposition) NumFragments() int { return len(d.Frags) }
 
-// Children returns the IDs of the fragments directly below fragment id.
+// Children returns the IDs of the fragments directly below fragment
+// id, in ID order. For decompositions produced by Decompose the index
+// is prebuilt (O(1) per call); hand-assembled values fall back to a
+// scan.
 func (d *Decomposition) Children(id int) []int {
+	if d.children != nil {
+		return d.children[id]
+	}
 	var out []int
 	for _, f := range d.Frags {
 		if f.Parent == id {
@@ -32,6 +46,16 @@ func (d *Decomposition) Children(id int) []int {
 		}
 	}
 	return out
+}
+
+// buildChildren populates the child index from the Parent links.
+func (d *Decomposition) buildChildren() {
+	d.children = make([][]int, len(d.Frags))
+	for _, f := range d.Frags {
+		if f.Parent >= 0 {
+			d.children[f.Parent] = append(d.children[f.Parent], f.ID)
+		}
+	}
 }
 
 // Sizes returns the linearized size of every fragment (after cuts).
@@ -86,61 +110,339 @@ func shallowSize(n *Node) int {
 	}
 }
 
-// Decompose splits the tree rooted at root into at most maxFrags
-// fragments by cutting at split-eligible nonterminals (the `split`
-// declarations of the grammar). granularity is the target fragment
-// size in linearized bytes — the parser's runtime scaling argument of
-// paper §2.5: a fragment accumulates roughly granularity bytes and the
-// remainder is cut off into a new fragment at the next eligible node.
-// Cut subtrees must also meet the grammar's per-symbol MinSplitSize.
-//
-// The tree is mutated: cut subtrees are replaced by remote leaves.
-// Decompose(root, _, 1) performs no cuts.
-func Decompose(root *Node, granularity, maxFrags int) *Decomposition {
-	d := &Decomposition{}
-	d.Frags = append(d.Frags, &Fragment{ID: 0, Parent: -1, Root: root})
-	if maxFrags <= 1 {
-		return d
+// Planner selects the decomposition policy Decompose applies.
+type Planner int
+
+const (
+	// PlanSize is the legacy §2.5 policy: purely size-driven cuts at
+	// the first split-eligible node once a fragment has accumulated its
+	// granularity. The default; byte-identical to historic Decompose.
+	PlanSize Planner = iota
+	// PlanCost is the grammar-analysis policy: among split-eligible
+	// nodes it scores (granularity-weighted size balance) − (cut cost),
+	// so chain-shaped programs still split into Figure-7 chains but
+	// boundaries implying less cross-fragment attribute traffic win
+	// ties.
+	PlanCost
+)
+
+func (p Planner) String() string {
+	switch p {
+	case PlanSize:
+		return "size"
+	case PlanCost:
+		return "cost"
+	default:
+		return fmt.Sprintf("Planner(%d)", int(p))
 	}
-	root.Size() // populate size caches before any cuts
-	if granularity < 8 {
-		granularity = 8
+}
+
+// ParsePlanner maps "size"/"cost" (and "" = size) to a Planner.
+func ParsePlanner(s string) (Planner, error) {
+	switch s {
+	case "", "size":
+		return PlanSize, nil
+	case "cost":
+		return PlanCost, nil
+	default:
+		return 0, fmt.Errorf("tree: unknown planner %q (want \"size\" or \"cost\")", s)
 	}
-	// rem[f] is the size fragment f still retains; a subtree is cut off
-	// only while the fragment keeps at least one granularity's worth of
-	// work for itself, so left-recursive declaration and statement
-	// lists decompose into a chain of roughly granularity-sized pieces
-	// (the shape of paper Figure 7).
+}
+
+// Decomposition granularity constants, from the paper's §2.5 runtime
+// scaling argument: the parser accumulates roughly `granularity`
+// linearized bytes per fragment and cuts the remainder off at the next
+// split-eligible node.
+const (
+	// MinGranularity is the smallest usable fragment budget. Below ~8
+	// bytes a "fragment" is smaller than the remote-leaf placeholder
+	// (4 bytes) plus one interior node that replaces it, so every cut
+	// would grow the workload instead of distributing it; Decompose
+	// clamps silently (historic behavior), callers that accept user
+	// input should validate and reject instead.
+	MinGranularity = 8
+	// splitFloorDiv scales granularity down to the minimum subtree
+	// worth shipping: a subtree under granularity/splitFloorDiv costs
+	// more in message traffic (its whole attribute interface crosses
+	// the network) than its evaluation saves, per the §2.5 argument
+	// that split sizes must scale with the per-message overhead. The
+	// grammar's per-symbol MinSplitSize still applies when larger.
+	splitFloorDiv = 5
+)
+
+// splitFloor is the minimum linearized size of a subtree worth cutting
+// at a node with symbol sym, for a given fragment granularity.
+func splitFloor(sym *ag.Symbol, granularity int) int {
+	floor := sym.MinSplitSize
+	if g := granularity / splitFloorDiv; g > floor {
+		floor = g
+	}
+	return floor
+}
+
+// cut records one planned decomposition cut: child node of parent
+// (parent.Children[idx]) roots a new fragment, removed from fragment
+// `from`. Cuts are listed in fragment-ID order (ID = 1 + slice index).
+type cut struct {
+	parent *Node
+	idx    int
+	node   *Node
+	from   int
+}
+
+// sizeCuts runs the legacy size-driven walk and returns the cuts it
+// decides, without mutating the tree. rem[f] is the size fragment f
+// still retains; a subtree is cut off only while the fragment keeps at
+// least one granularity's worth of work for itself, so left-recursive
+// declaration and statement lists decompose into a chain of roughly
+// granularity-sized pieces (the shape of paper Figure 7). Size caches
+// must be populated (root.Size()) before the walk.
+func sizeCuts(root *Node, granularity, maxFrags int) []cut {
 	rem := []int{root.Size()}
+	var cuts []cut
 	var walk func(n *Node, frag int)
 	walk = func(n *Node, frag int) {
 		for i, c := range n.Children {
-			floor := c.Sym.MinSplitSize
-			if g := granularity / 5; g > floor {
-				floor = g
-			}
-			if len(d.Frags) < maxFrags &&
+			if 1+len(cuts) < maxFrags &&
 				!c.Remote && !c.Sym.Terminal && c.Sym.Split &&
-				c.Size() >= floor && rem[frag]-c.Size() >= granularity {
-				f := &Fragment{ID: len(d.Frags), Parent: frag, Root: c}
-				d.Frags = append(d.Frags, f)
+				c.Size() >= splitFloor(c.Sym, granularity) &&
+				rem[frag]-c.Size() >= granularity {
+				id := len(rem)
+				cuts = append(cuts, cut{parent: n, idx: i, node: c, from: frag})
 				rem[frag] -= c.Size()
 				rem = append(rem, c.Size())
-				n.Children[i] = newRemote(c.Sym, f.ID)
-				walk(c, f.ID)
+				walk(c, id)
 			} else {
 				walk(c, frag)
 			}
 		}
 	}
 	walk(root, 0)
+	return cuts
+}
+
+// costWeight converts a grammar cut cost (messages + waves, see
+// ag.CutPlan) into the dimensionless fitness space of costCuts: small
+// enough that size balance dominates across clearly different sizes,
+// large enough that a few messages decide near-ties.
+const costWeight = 0.02
+
+// costCuts runs the cost-aware policy: enumerate every split-eligible
+// node, score by (granularity-weighted size balance) − costWeight ×
+// (cut cost), and greedily accept in score order subject to the same
+// feasibility budget the legacy walk enforces (each fragment that
+// loses a subtree retains at least one granularity of work). Returned
+// cuts are re-ordered to preorder so fragment IDs keep the legacy
+// parent-before-child DFS numbering.
+func costCuts(root *Node, granularity, maxFrags int, costOf func(*ag.Symbol) int) []cut {
+	// Candidates are appended in DFS order, so a candidate's slice
+	// index doubles as its preorder rank (determinism + numbering).
+	type cand struct {
+		parent *Node
+		idx    int
+		node   *Node
+		anc    []int // candidate-ancestor chain, outermost first
+		score  float64
+	}
+	var cands []cand
+	var walk func(n *Node, chain []int)
+	walk = func(n *Node, chain []int) {
+		for i, c := range n.Children {
+			childChain := chain
+			if !c.Remote && !c.Sym.Terminal && c.Sym.Split &&
+				c.Size() >= splitFloor(c.Sym, granularity) {
+				fit := 1 - absF(float64(c.Size()-granularity))/float64(granularity)
+				cands = append(cands, cand{
+					parent: n, idx: i, node: c,
+					anc:   chain,
+					score: fit - costWeight*float64(costOf(c.Sym)),
+				})
+				childChain = append(chain[:len(chain):len(chain)], len(cands)-1)
+			}
+			walk(c, childChain)
+		}
+	}
+	walk(root, nil)
+	if len(cands) == 0 {
+		return nil
+	}
+
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := &cands[order[a]], &cands[order[b]]
+		if ca.score != cb.score {
+			return ca.score > cb.score
+		}
+		return order[a] < order[b]
+	})
+
+	// Greedy accept with the legacy retention budget. host[c] is the
+	// accepted candidate a cut currently hangs under (-1 = the root
+	// fragment); retained[h] is the linearized size host h keeps after
+	// its accepted cuts are removed.
+	accepted := make([]bool, len(cands))
+	host := make([]int, len(cands))
+	retained := map[int]int{-1: root.Size()}
+	var acceptedList []int
+	for _, ci := range order {
+		if 1+len(acceptedList) >= maxFrags {
+			break
+		}
+		c := &cands[ci]
+		// Nearest accepted ancestor.
+		h := -1
+		for k := len(c.anc) - 1; k >= 0; k-- {
+			if accepted[c.anc[k]] {
+				h = c.anc[k]
+				break
+			}
+		}
+		// Accepted cuts currently hosted by h that live inside c's
+		// subtree re-host to c when c is accepted.
+		var moved, movedSize int
+		for _, ai := range acceptedList {
+			if host[ai] == h && hasAncestor(cands[ai].anc, ci) {
+				moved++
+				movedSize += cands[ai].node.Size()
+			}
+		}
+		newRetC := c.node.Size() - movedSize
+		newRetH := retained[h] - c.node.Size() + movedSize
+		floorC := splitFloor(c.node.Sym, granularity)
+		if moved > 0 {
+			// c itself now loses subtrees; the legacy invariant says a
+			// fragment that sheds work keeps a granularity's worth.
+			floorC = granularity
+		}
+		if newRetH < granularity || newRetC < floorC {
+			continue
+		}
+		accepted[ci] = true
+		host[ci] = h
+		retained[h] = newRetH
+		retained[ci] = newRetC
+		for _, ai := range acceptedList {
+			if host[ai] == h && hasAncestor(cands[ai].anc, ci) {
+				host[ai] = ci
+			}
+		}
+		acceptedList = append(acceptedList, ci)
+	}
+	if len(acceptedList) == 0 {
+		return nil
+	}
+
+	// Number fragments in preorder (parent-before-child, matching the
+	// legacy DFS numbering) and resolve hosts to fragment IDs.
+	sort.Ints(acceptedList)
+	fragID := map[int]int{-1: 0}
+	for i, ci := range acceptedList {
+		fragID[ci] = i + 1
+	}
+	cuts := make([]cut, len(acceptedList))
+	for i, ci := range acceptedList {
+		c := &cands[ci]
+		cuts[i] = cut{parent: c.parent, idx: c.idx, node: c.node, from: fragID[host[ci]]}
+	}
+	return cuts
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// hasAncestor reports whether candidate index anc appears in chain.
+func hasAncestor(chain []int, anc int) bool {
+	for _, a := range chain {
+		if a == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// Decompose splits the tree rooted at root into at most maxFrags
+// fragments by cutting at split-eligible nonterminals (the `split`
+// declarations of the grammar) under the legacy PlanSize policy.
+// granularity is the target fragment size in linearized bytes — the
+// parser's runtime scaling argument of paper §2.5: a fragment
+// accumulates roughly granularity bytes and the remainder is cut off
+// into a new fragment at the next eligible node. Cut subtrees must
+// also meet the grammar's per-symbol MinSplitSize.
+//
+// The tree is mutated: cut subtrees are replaced by remote leaves.
+// Decompose(root, _, 1) performs no cuts.
+func Decompose(root *Node, granularity, maxFrags int) *Decomposition {
+	return DecomposeWith(root, granularity, maxFrags, PlanSize, nil)
+}
+
+// DecomposeWith is Decompose with an explicit policy. PlanSize ignores
+// costOf and reproduces the historic byte-identical decomposition.
+// PlanCost scores split-eligible nodes by size balance minus the
+// grammar cut cost (costOf, typically ag.CutPlan.CostOf); a nil costOf
+// falls back to PlanSize.
+func DecomposeWith(root *Node, granularity, maxFrags int, planner Planner, costOf func(*ag.Symbol) int) *Decomposition {
+	d := &Decomposition{}
+	d.Frags = append(d.Frags, &Fragment{ID: 0, Parent: -1, Root: root})
+	if maxFrags <= 1 {
+		d.buildChildren()
+		return d
+	}
+	root.Size() // populate size caches before any cuts
+	if granularity < MinGranularity {
+		granularity = MinGranularity
+	}
+	var cuts []cut
+	if planner == PlanCost && costOf != nil {
+		cuts = costCuts(root, granularity, maxFrags, costOf)
+	} else {
+		cuts = sizeCuts(root, granularity, maxFrags)
+	}
+	for _, c := range cuts {
+		f := &Fragment{ID: len(d.Frags), Parent: c.from, Root: c.node}
+		d.Frags = append(d.Frags, f)
+		c.parent.Children[c.idx] = newRemote(c.node.Sym, f.ID)
+	}
 	// Cuts invalidate cached sizes (remote leaves are smaller than the
 	// subtrees they replace); recompute per fragment.
 	for _, f := range d.Frags {
 		f.Root.invalidateSizes()
 		f.Root.Size()
 	}
+	d.buildChildren()
 	return d
+}
+
+// SimulateCuts reports the subtree roots the given policy would cut,
+// without mutating the tree: the dry-run twin of DecomposeWith,
+// sharing its walk so the answer is exactly the set of fragments 1..n
+// a real decomposition would produce. Callers use it to compare
+// planned message traffic across policies.
+func SimulateCuts(root *Node, granularity, maxFrags int, planner Planner, costOf func(*ag.Symbol) int) []*Node {
+	if maxFrags <= 1 {
+		return nil
+	}
+	root.Size()
+	if granularity < MinGranularity {
+		granularity = MinGranularity
+	}
+	var cuts []cut
+	if planner == PlanCost && costOf != nil {
+		cuts = costCuts(root, granularity, maxFrags, costOf)
+	} else {
+		cuts = sizeCuts(root, granularity, maxFrags)
+	}
+	out := make([]*Node, len(cuts))
+	for i, c := range cuts {
+		out[i] = c.node
+	}
+	return out
 }
 
 // GranularityFor picks a split threshold aimed at producing
