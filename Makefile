@@ -56,11 +56,20 @@ fuzz:
 	$(GO) test ./internal/parallel -run XXX -fuzz FuzzPlan -fuzztime 15s
 	$(GO) test ./internal/rope -run XXX -fuzz FuzzShipCodec -fuzztime 15s
 
+# vet + gofmt + the repo's own analyzer suite (cmd/paglint:
+# determinism, lockdiscipline, sealedio). staticcheck and govulncheck
+# run when installed (CI installs them; the targets stay usable on a
+# machine without network access).
 lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/paglint ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping"; fi
 
 fmt:
 	gofmt -w .

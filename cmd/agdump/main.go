@@ -1,66 +1,112 @@
-// Command agdump prints the OAG analysis of a built-in grammar: the
-// attribute phases of every nonterminal and, with -plans, the visit
-// sequence of every production — the artifacts the static evaluator
-// generator precomputes (paper §2.3).
+// Command agdump prints the OAG analysis of a grammar: the attribute
+// phases of every nonterminal and, with -plans, the visit sequence of
+// every production — the artifacts the static evaluator generator
+// precomputes (paper §2.3).
 //
 //	agdump -grammar pascal
 //	agdump -grammar expr -plans
+//	agdump -spec grammar.ag
+//	agdump -spec grammar.ag -check
+//
+// A grammar the analysis rejects (circular, not ordered, structurally
+// broken) does not produce a half-dump: agdump prints the diagnostics
+// engine's full report — witness cycles included — and exits nonzero.
+// -check prints that report even when the grammar is clean.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"pag/internal/ag"
+	"pag/internal/aglint"
+	"pag/internal/agspec"
 	"pag/internal/exprlang"
 	"pag/internal/pascal"
 )
 
 func main() {
-	name := flag.String("grammar", "expr", "grammar to analyze: expr or pascal")
+	name := flag.String("grammar", "expr", "builtin grammar to analyze: expr or pascal")
+	spec := flag.String("spec", "", "analyze a grammar specification file instead of a builtin grammar")
+	check := flag.Bool("check", false, "print the full diagnostics report before the dump")
 	plans := flag.Bool("plans", false, "print per-production visit sequences")
 	flag.Parse()
 
-	if err := run(*name, *plans); err != nil {
+	if err := run(os.Stdout, *name, *spec, *plans, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "agdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, plans bool) error {
+func run(out io.Writer, name, specFile string, plans, check bool) error {
+	g, report, err := load(name, specFile)
+	if err != nil {
+		return err
+	}
+	if check || report.HasErrors() {
+		report.Format(out)
+	}
+	if report.HasErrors() {
+		return fmt.Errorf("grammar %s: %d error(s); no analysis to dump", report.Grammar, report.Errors())
+	}
+	a, err := ag.Analyze(g)
+	if err != nil {
+		// Unreachable when the report is clean; Enrich attaches the
+		// dependency witness if it happens anyway.
+		return aglint.Enrich(g, err)
+	}
+	dump(out, g, a, plans)
+	return nil
+}
+
+// load resolves the grammar operand: a spec file or a builtin name.
+// The returned report carries every diagnostic finding; the grammar is
+// only evaluable when the report has no errors.
+func load(name, specFile string) (*ag.Grammar, *aglint.Report, error) {
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Standalone specs have no semantic-function library: lenient
+		// parsing stubs unknown functions and the report carries them.
+		res, _ := agspec.ParseLenient(string(data), agspec.Library{})
+		report := aglint.CheckSpec(string(data), agspec.Library{})
+		report.Grammar = specFile
+		return res.Grammar, report, nil
+	}
 	var g *ag.Grammar
-	var a *ag.Analysis
 	switch name {
 	case "expr":
 		l, err := exprlang.New()
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		g = l.G
-		a, err = ag.Analyze(g)
-		if err != nil {
-			return err
-		}
 	case "pascal":
 		l, err := pascal.New()
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		g, a = l.G, l.A
+		g = l.G
 	default:
-		return fmt.Errorf("unknown grammar %q (expr, pascal)", name)
+		return nil, nil, fmt.Errorf("unknown grammar %q (expr, pascal; or use -spec)", name)
 	}
+	return g, aglint.Check(g), nil
+}
 
+func dump(out io.Writer, g *ag.Grammar, a *ag.Analysis, plans bool) {
 	rules := 0
 	for _, p := range g.Prods {
 		rules += len(p.Rules)
 	}
-	fmt.Printf("grammar %s: %d symbols, %d productions, %d semantic rules\n\n",
+	fmt.Fprintf(out, "grammar %s: %d symbols, %d productions, %d semantic rules\n\n",
 		g.Name, len(g.Symbols), len(g.Prods), rules)
 
-	fmt.Println("attribute phases (visit in which each attribute becomes available):")
+	fmt.Fprintln(out, "attribute phases (visit in which each attribute becomes available):")
 	for _, s := range g.Symbols {
 		if s.Terminal {
 			continue
@@ -76,14 +122,14 @@ func run(name string, plans bool) error {
 			}
 			parts = append(parts, fmt.Sprintf("visit %d: %s", v+1, strings.Join(names, " ")))
 		}
-		fmt.Printf("  %-12s %s\n", s.Name, strings.Join(parts, " | "))
+		fmt.Fprintf(out, "  %-12s %s\n", s.Name, strings.Join(parts, " | "))
 	}
 
 	if plans {
-		fmt.Println("\nvisit sequences:")
+		fmt.Fprintln(out, "\nvisit sequences:")
 		for _, p := range g.Prods {
 			plan := a.Plan(p)
-			fmt.Printf("  %s\n", p)
+			fmt.Fprintf(out, "  %s\n", p)
 			for v, seg := range plan.Segments {
 				var ops []string
 				for _, op := range seg {
@@ -94,9 +140,8 @@ func run(name string, plans bool) error {
 						ops = append(ops, fmt.Sprintf("visit child %d #%d", op.Child, op.Visit))
 					}
 				}
-				fmt.Printf("    visit %d: %s\n", v+1, strings.Join(ops, "; "))
+				fmt.Fprintf(out, "    visit %d: %s\n", v+1, strings.Join(ops, "; "))
 			}
 		}
 	}
-	return nil
 }

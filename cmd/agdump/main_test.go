@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const circularSpec = `%keyword LEAF
+%nosplit x : syn s, inh i
+%nosplit root : syn out
+%start root
+%%
+root : x
+    $1.i = $1.s ;
+    $.out = $1.s ;
+
+x : LEAF
+    $.s = $.i ;
+`
+
+func writeSpec(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grammar.ag")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDumpBuiltinGrammars(t *testing.T) {
+	for _, name := range []string{"expr", "pascal"} {
+		var out bytes.Buffer
+		if err := run(&out, name, "", true, false); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, want := range []string{"attribute phases", "visit sequences:"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("%s dump missing %q:\n%s", name, want, out.String())
+			}
+		}
+	}
+}
+
+func TestCircularSpecFailsWithDiagnostics(t *testing.T) {
+	path := writeSpec(t, circularSpec)
+	var out bytes.Buffer
+	err := run(&out, "expr", path, false, false)
+	if err == nil {
+		t.Fatalf("run accepted a circular grammar; output:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"error[circular]", "cycle:", "x -> LEAF"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "attribute phases") {
+		t.Errorf("broken grammar still dumped phases:\n%s", text)
+	}
+}
+
+func TestCheckFlagPrintsReportForCleanSpec(t *testing.T) {
+	clean := `%keyword LEAF
+%nosplit root : syn out
+%start root
+%%
+root : LEAF
+    $.out = 1 ;
+`
+	path := writeSpec(t, clean)
+	var out bytes.Buffer
+	if err := run(&out, "expr", path, false, true); err != nil {
+		t.Fatalf("clean spec failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"0 error(s)", "attribute phases"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownGrammarName(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "cobol", "", false, false); err == nil {
+		t.Fatal("unknown grammar name accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pag/internal/aglint"
+	"pag/internal/agspec"
+	"pag/internal/pascal"
+)
+
+// runCheck is the -check mode: run the grammar diagnostics engine over
+// a specification file (or, with no operand, the builtin Pascal
+// grammar) and report every finding. The process exits nonzero when
+// any finding has error severity, so the mode slots into build scripts
+// the way a linter does.
+//
+//	pagc -check grammar.ag        # human-readable report
+//	pagc -check -json grammar.ag  # machine-readable report
+//	pagc -check                   # check the builtin Pascal grammar
+func runCheck(out io.Writer, cfg config, args []string) error {
+	var report *aglint.Report
+	switch len(args) {
+	case 0:
+		report = aglint.Check(pascal.MustNew().G)
+	case 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		// Specs checked standalone have no semantic-function library;
+		// lenient parsing stubs the functions and reports them, and
+		// copy/constant rules check exactly as they would compile.
+		report = aglint.CheckSpec(string(data), agspec.Library{})
+		report.Grammar = args[0]
+	default:
+		return fmt.Errorf("-check takes one spec file (or none for the builtin grammar), got %d operands %v", len(args), args)
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		report.Format(out)
+	}
+	if report.HasErrors() {
+		return fmt.Errorf("%d grammar error(s)", report.Errors())
+	}
+	return nil
+}

@@ -65,6 +65,8 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print the machine activity chart")
 	asm := flag.Bool("S", false, "print the produced VAX assembly")
 	quiet := flag.Bool("q", false, "suppress the compilation summary (with -S: print assembly only)")
+	check := flag.Bool("check", false, "run grammar diagnostics instead of compiling: check a spec file operand (or the builtin Pascal grammar) and exit 1 on errors")
+	jsonOut := flag.Bool("json", false, "with -check: emit the diagnostic report as JSON")
 	wl := flag.String("workload", "", "compile a generated workload (tiny, small, course) instead of a file")
 	dump := flag.Bool("dump-source", false, "print the generated -workload source instead of compiling it")
 	batch := flag.Bool("batch", false, "compile every file through one persistent pool on the real multicore runtime")
@@ -80,6 +82,7 @@ func main() {
 	cfg := config{
 		machines: *machines, modeName: *mode, gran: *gran,
 		planName: *plan, autoWidth: *autoWidth,
+		check: *check, jsonOut: *jsonOut,
 		noLib: *noLib, chain: *chain, gantt: *gantt, asm: *asm, quiet: *quiet,
 		wl: *wl, dump: *dump, batch: *batch, series: *series, workers: *workers, cacheBytes: *cacheBytes,
 		priority:  *priority,
@@ -99,9 +102,13 @@ type config struct {
 	// resolved once in run (ParsePlanner rejects unknown names before
 	// any mode dispatch). autoWidth lets the batch pool (or the daemon)
 	// size each job's decomposition from its cost model.
-	planName   string
-	planner    tree.Planner
-	autoWidth  bool
+	planName  string
+	planner   tree.Planner
+	autoWidth bool
+	// check switches to the grammar-diagnostics mode (check.go);
+	// jsonOut selects its JSON report format.
+	check      bool
+	jsonOut    bool
 	noLib      bool
 	chain      bool
 	gantt      bool
@@ -136,6 +143,15 @@ func run(out io.Writer, cfg config, args []string) error {
 		}
 		_, err = io.WriteString(out, src)
 		return err
+	}
+	if cfg.jsonOut && !cfg.check {
+		return fmt.Errorf("-json formats the -check report; combine it with -check")
+	}
+	if cfg.check {
+		if cfg.batch || cfg.daemonURL != "" || cfg.wl != "" {
+			return fmt.Errorf("-check runs grammar diagnostics without compiling; drop -batch, -daemon and -workload")
+		}
+		return runCheck(out, cfg, args)
 	}
 	if cfg.series && !cfg.batch {
 		return fmt.Errorf("-series is a -batch mode (an edit series compiles through one pool)")

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPlannerRejectionWording: a typo'd -plan fails up front, naming
+// the accepted planners.
+func TestPlannerRejectionWording(t *testing.T) {
+	err := run(&bytes.Buffer{}, config{machines: 1, modeName: "combined", planName: "speed"}, nil)
+	if err == nil {
+		t.Fatal("unknown planner accepted")
+	}
+	if want := `unknown planner "speed" (want "size" or "cost")`; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q missing %q", err, want)
+	}
+}
+
+// TestPriorityRejectionWording: a typo'd -priority in batch mode
+// fails before any file is read, naming the accepted priorities.
+func TestPriorityRejectionWording(t *testing.T) {
+	cfg := config{machines: 1, modeName: "combined", planName: "size", batch: true, priority: "urgent"}
+	err := run(&bytes.Buffer{}, cfg, []string{"unread.pas"})
+	if err == nil {
+		t.Fatal("unknown priority accepted")
+	}
+	if want := `unknown priority "urgent" (want "high" or "low")`; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q missing %q", err, want)
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"pag/internal/aglint"
+	"pag/internal/agspec"
+)
+
+// checkRequest is the wire form of one grammar-diagnostics request:
+// the specification text to validate, in the same format `pagc -check`
+// reads from a file.
+type checkRequest struct {
+	Spec string `json:"spec"`
+}
+
+// handleCheck is POST /check: run the grammar diagnostics engine over
+// a specification and answer with the structured report. A clean
+// grammar (or one with only warnings and advisories) answers 200; any
+// error-severity finding answers 422 with the same report body, so
+// clients gate registration on the status code and render the payload.
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req checkRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Spec == "" {
+		http.Error(w, `"spec" is required`, http.StatusBadRequest)
+		return
+	}
+	report := aglint.CheckSpec(req.Spec, agspec.Library{})
+	w.Header().Set("Content-Type", "application/json")
+	if report.HasErrors() {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	json.NewEncoder(w).Encode(report) //nolint:errcheck // best-effort response body
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pag/internal/aglint"
+)
+
+const circularSpecJSON = `{"spec": "%keyword LEAF\n%nosplit x : syn s, inh i\n%nosplit root : syn out\n%start root\n%%\nroot : x\n    $1.i = $1.s ;\n    $.out = $1.s ;\n\nx : LEAF\n    $.s = $.i ;\n"}`
+
+const cleanSpecJSON = `{"spec": "%keyword LEAF\n%nosplit root : syn out\n%start root\n%%\nroot : LEAF\n    $.out = 1 ;\n"}`
+
+func postCheck(t *testing.T, url, body string) (*http.Response, *aglint.Report) {
+	t.Helper()
+	resp, err := http.Post(url+"/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var report aglint.Report
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	return resp, &report
+}
+
+func TestCheckEndpointRejectsBadGrammar(t *testing.T) {
+	_, ts := testServer(t)
+	resp, report := postCheck(t, ts.URL, circularSpecJSON)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	ds := report.ByCode(aglint.CodeCircular)
+	if len(ds) != 1 {
+		t.Fatalf("circular findings = %d: %+v", len(ds), report.Diagnostics)
+	}
+	if len(ds[0].Witness) == 0 {
+		t.Error("finding shipped without its witness")
+	}
+}
+
+func TestCheckEndpointAcceptsCleanGrammar(t *testing.T) {
+	_, ts := testServer(t)
+	resp, report := postCheck(t, ts.URL, cleanSpecJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (report: %+v)", resp.StatusCode, report.Diagnostics)
+	}
+	if report.HasErrors() {
+		t.Errorf("clean grammar reported errors: %+v", report.Diagnostics)
+	}
+}
+
+func TestCheckEndpointValidation(t *testing.T) {
+	_, ts := testServer(t)
+	for name, body := range map[string]string{
+		"not json":   `{{{`,
+		"empty spec": `{}`,
+	} {
+		resp, err := http.Post(ts.URL+"/check", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

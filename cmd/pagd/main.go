@@ -21,6 +21,10 @@
 //	                to HTTP status codes), which diffs cleanly against
 //	                `pagc -q -S`. With ?nocache=1 the request bypasses
 //	                the pool's fragment cache.
+//	POST /check     validate a grammar specification: {"spec": "..."}.
+//	                Answers the diagnostics report as JSON — 200 when
+//	                the grammar is clean (warnings and advisories
+//	                allowed), 422 when any finding has error severity.
 //	GET  /healthz   liveness probe ("ok").
 //	GET  /readyz    readiness probe: 503 while draining for shutdown or
 //	                while the pool is saturated (slots and queue full),
@@ -192,7 +196,10 @@ func main() {
 func runWorker(logger *slog.Logger, addr, debugAddr string) {
 	l := pascal.MustNew()
 	w := fleet.NewWorker()
-	w.Register(l.G, l.A, l.TerminalAttrs)
+	if err := w.RegisterChecked(l.G, l.A, l.TerminalAttrs); err != nil {
+		logger.Error("grammar rejected by diagnostics", "error", err.Error())
+		os.Exit(1)
+	}
 	srv := &http.Server{Addr: addr, Handler: w.Routes()}
 	debug := startDebug(logger, debugAddr)
 
@@ -284,6 +291,7 @@ func newServer(opts parallel.PoolOptions) *server {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("POST /check", s.handleCheck)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

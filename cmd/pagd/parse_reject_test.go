@@ -1,0 +1,48 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRejectionWording pins the user-facing vocabulary errors: both
+// parsers quote the rejected value and the accepted names, so a typo
+// in a job spec or header is self-explanatory from the 400 body.
+func TestRejectionWording(t *testing.T) {
+	_, ts := testServer(t)
+
+	resp, err := http.Post(ts.URL+"/compile", "application/json",
+		strings.NewReader(`{"workload":"tiny","plan":"speed"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad plan answered %d, want 400", resp.StatusCode)
+	}
+	if want := `unknown planner "speed" (want "size" or "cost")`; !strings.Contains(string(body), want) {
+		t.Errorf("plan rejection body %q missing %q", body, want)
+	}
+
+	req, err := http.NewRequest("POST", ts.URL+"/compile",
+		strings.NewReader(`{"workload":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Pag-Priority", "urgent")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad priority answered %d, want 400", resp.StatusCode)
+	}
+	if want := `unknown priority "urgent" (want "high" or "low")`; !strings.Contains(string(body), want) {
+		t.Errorf("priority rejection body %q missing %q", body, want)
+	}
+}

@@ -1,0 +1,88 @@
+// Command paglint runs the project's custom invariant analyzers over
+// Go packages and reports findings in the usual file:line:col form,
+// exiting nonzero if any survive. The suite (see internal/lint):
+//
+//	determinism     wall-clock, randomness or map-iteration order in
+//	                canonical-encoding code (//paglint:deterministic files)
+//	lockdiscipline  blocking operations while a mutex is held
+//	sealedio        raw encoding/json on fleet wire paths
+//
+// Usage:
+//
+//	paglint [-analyzers names] [packages]
+//
+// Packages default to ./... and use go list patterns. Findings are
+// suppressed per line with `//paglint:allow <analyzer> -- reason`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pag/internal/lint"
+)
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+	code, err := run(os.Stdout, *names, *list, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paglint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the requested analyzers; the int result is the process
+// exit code (0 clean, 1 findings).
+func run(out io.Writer, names string, list bool, patterns []string) (int, error) {
+	analyzers, err := selectAnalyzers(names)
+	if err != nil {
+		return 0, err
+	}
+	if list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		return 0, err
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "%d finding(s)\n", len(diags))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// selectAnalyzers resolves a comma-separated name list against the
+// suite; empty means all.
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run -list for the suite)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean is the acceptance gate: the whole module passes the
+// analyzer suite. A finding here is either a real invariant violation
+// or a missing //paglint:allow justification — both belong in the
+// diff that introduced them.
+func TestRepoClean(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(&out, "", false, []string{"pag/..."})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("paglint found violations:\n%s", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(&out, "", true, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("run -list: code=%d err=%v", code, err)
+	}
+	for _, name := range []string{"determinism", "lockdiscipline", "sealedio"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	as, err := selectAnalyzers("determinism,sealedio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "determinism" || as[1].Name != "sealedio" {
+		t.Errorf("selected %v", as)
+	}
+	if _, err := selectAnalyzers("nope"); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+}

@@ -3,6 +3,7 @@ package ag
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 )
 
@@ -91,11 +92,18 @@ type CircularityError struct {
 	Prod *Production
 	Sym  *Symbol
 	Attr string
+	// Witness, when set, is the complete dependency cycle — one edge
+	// per line, naming occurrences, attributes and the productions the
+	// edges travel through. Analyze leaves it empty; internal/aglint's
+	// Enrich fills it in (the witness search is a diagnostics concern,
+	// not an analysis one). errors.As call sites are unaffected.
+	Witness []string
 }
 
 func (e *CircularityError) Error() string {
-	return fmt.Sprintf("ag: grammar is circular: %s.%s depends on itself via production %s",
+	msg := fmt.Sprintf("ag: grammar is circular: %s.%s depends on itself via production %s",
 		e.Sym.Name, e.Attr, e.Prod)
+	return appendWitness(msg, e.Witness)
 }
 
 // NotOrderedError reports that a symbol's attributes cannot be
@@ -107,11 +115,26 @@ func (e *CircularityError) Error() string {
 type NotOrderedError struct {
 	Sym     *Symbol
 	Pending []string
+	// Witness, when set, names the conflicting partition assignments
+	// that wedge the alternating peel (filled by aglint.Enrich; see
+	// CircularityError.Witness).
+	Witness []string
 }
 
 func (e *NotOrderedError) Error() string {
-	return fmt.Sprintf("ag: grammar is not ordered: attributes %v of %s cannot be placed in alternating visit phases",
+	msg := fmt.Sprintf("ag: grammar is not ordered: attributes %v of %s cannot be placed in alternating visit phases",
 		e.Pending, e.Sym.Name)
+	return appendWitness(msg, e.Witness)
+}
+
+// appendWitness folds an aglint-computed witness into an error string:
+// one "; "-joined clause per dependency edge, so the one-line message
+// stays grep-able while carrying the full path.
+func appendWitness(msg string, witness []string) string {
+	if len(witness) == 0 {
+		return msg
+	}
+	return msg + " [" + strings.Join(witness, "; ") + "]"
 }
 
 // Phase is one visit phase of a symbol: the inherited attributes the

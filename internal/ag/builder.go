@@ -198,6 +198,21 @@ func (b *Builder) Build() (*Grammar, error) {
 	return b.g, nil
 }
 
+// BuildUnchecked assembles the grammar with its derived tables
+// (symbol indexes, rule lookup, argument bounds) but without enforcing
+// the validity rules Build applies: incomplete, ill-kinded or
+// duplicate-ruled grammars come back as Grammar values instead of a
+// single error. It exists for static diagnostics — internal/aglint
+// wants the whole broken grammar so it can report every problem at
+// once — and the returned grammar must not be evaluated. The second
+// result carries the reference-resolution errors accumulated while
+// building (rules whose refs never resolved are absent from the
+// grammar).
+func (b *Builder) BuildUnchecked() (*Grammar, []error) {
+	b.g.finishUnchecked()
+	return b.g, b.errs
+}
+
 // MustBuild is Build that panics on error; for grammars constructed in
 // package init paths and tests.
 func MustBuild(b *Builder) *Grammar {

@@ -317,6 +317,56 @@ func (g *Grammar) finish() error {
 	return nil
 }
 
+// finishUnchecked builds the same derived tables as finish but never
+// fails: invalid pieces (out-of-range refs, duplicate definitions,
+// duplicate symbol names) are skipped instead of rejected, so static
+// diagnostics (internal/aglint) can inspect a broken grammar as a
+// whole. Grammars finished this way are for analysis only.
+func (g *Grammar) finishUnchecked() {
+	g.byName = make(map[string]*Symbol, len(g.Symbols))
+	for i, s := range g.Symbols {
+		s.Index = i
+		if _, dup := g.byName[s.Name]; !dup {
+			g.byName[s.Name] = s
+		}
+		s.synIdx = s.synIdx[:0]
+		s.inhIdx = s.inhIdx[:0]
+		for ai, a := range s.Attrs {
+			switch a.Kind {
+			case Synthesized:
+				s.synIdx = append(s.synIdx, ai)
+			case Inherited:
+				s.inhIdx = append(s.inhIdx, ai)
+			}
+		}
+	}
+	for pi, p := range g.Prods {
+		p.Index = pi
+		if p.LHS == nil {
+			continue
+		}
+		p.ruleFor = make([][]int, 1+len(p.RHS))
+		for occ := 0; occ <= len(p.RHS); occ++ {
+			p.ruleFor[occ] = make([]int, len(p.Sym(occ).Attrs))
+			for j := range p.ruleFor[occ] {
+				p.ruleFor[occ][j] = -1
+			}
+		}
+		for ri := range p.Rules {
+			r := &p.Rules[ri]
+			if g.checkRef(p, r.Target) != nil {
+				continue
+			}
+			if p.ruleFor[r.Target.Occ][r.Target.Attr] < 0 {
+				p.ruleFor[r.Target.Occ][r.Target.Attr] = ri
+			}
+			if len(r.Deps) > g.maxArgs {
+				g.maxArgs = len(r.Deps)
+			}
+		}
+	}
+}
+
 func (g *Grammar) checkRef(p *Production, r AttrRef) error {
 	if r.Occ < 0 || r.Occ > len(p.RHS) {
 		return fmt.Errorf("occurrence %d out of range", r.Occ)

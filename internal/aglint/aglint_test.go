@@ -1,0 +1,362 @@
+package aglint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pag/internal/ag"
+	"pag/internal/agspec"
+	"pag/internal/exprlang"
+	"pag/internal/pascal"
+)
+
+// circularGrammar builds the seeded truly-circular grammar: x.s and
+// x.i depend on each other through nesting root -> x over x -> LEAF.
+func circularGrammar(t *testing.T) *ag.Grammar {
+	t.Helper()
+	b := ag.NewBuilder("circular")
+	x := b.Nonterminal("x", ag.Syn("s"), ag.Inh("i"))
+	root := b.Nonterminal("root", ag.Syn("out"))
+	leaf := b.Terminal("LEAF")
+	b.Start(root)
+	b.Production(root, []*ag.Symbol{x},
+		ag.Copy("1.i", "1.s"),
+		ag.Copy("out", "1.s"),
+	)
+	b.Production(x, []*ag.Symbol{leaf},
+		ag.Copy("s", "i"),
+	)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// notOrderedGrammar builds the seeded non-OAG grammar: productions A
+// and B demand conflicting visit orders of x's attributes, so the
+// grammar is noncircular but not ordered.
+func notOrderedGrammar(t *testing.T) *ag.Grammar {
+	t.Helper()
+	b := ag.NewBuilder("notordered")
+	leaf := b.Terminal("LEAF")
+	x := b.Nonterminal("x", ag.Syn("s1"), ag.Syn("s2"), ag.Inh("i1"), ag.Inh("i2"))
+	root := b.Nonterminal("root", ag.Syn("out"))
+	b.Start(root)
+	first := func(a []ag.Value) ag.Value { return a[0] }
+	b.Production(root, []*ag.Symbol{x, leaf},
+		ag.Const("1.i1", 0),
+		ag.Def("1.i2", first, "1.s1"),
+		ag.Copy("out", "1.s2"),
+	)
+	b.Production(root, []*ag.Symbol{leaf, x},
+		ag.Const("2.i2", 0),
+		ag.Def("2.i1", first, "2.s2"),
+		ag.Copy("out", "2.s1"),
+	)
+	b.Production(x, []*ag.Symbol{leaf},
+		ag.Copy("s1", "i1"),
+		ag.Copy("s2", "i2"),
+	)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestCheckCircularWitness(t *testing.T) {
+	r := Check(circularGrammar(t))
+	if !r.HasErrors() {
+		t.Fatalf("expected errors, got %s", r.Summary())
+	}
+	ds := r.ByCode(CodeCircular)
+	if len(ds) != 1 {
+		t.Fatalf("circular findings = %v, want exactly 1 (report: %+v)", len(ds), r.Diagnostics)
+	}
+	d := ds[0]
+	if d.Symbol != "x" {
+		t.Errorf("Symbol = %q, want x", d.Symbol)
+	}
+	if len(d.Witness) < 3 {
+		t.Fatalf("witness too short: %q", d.Witness)
+	}
+	if !strings.HasPrefix(d.Witness[0], "cycle:") {
+		t.Errorf("witness[0] = %q, want cycle header", d.Witness[0])
+	}
+	// The witness must name both the production carrying the rule edge
+	// and the production inducing the transitive order.
+	joined := strings.Join(d.Witness, "\n")
+	for _, want := range []string{"x -> LEAF", "root -> x", "x.s", "x.i"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("witness missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCheckNotOrderedClassification(t *testing.T) {
+	r := Check(notOrderedGrammar(t))
+	ds := r.ByCode(CodeNotOrdered)
+	if len(ds) != 1 {
+		t.Fatalf("not-ordered findings = %d, want 1 (report: %+v)", len(ds), r.Diagnostics)
+	}
+	d := ds[0]
+	if d.Symbol != "x" {
+		t.Errorf("Symbol = %q, want x", d.Symbol)
+	}
+	// The conflicting partition assignments must name both inducing
+	// productions.
+	joined := strings.Join(d.Witness, "\n")
+	for _, want := range []string{"root -> x LEAF", "root -> LEAF x"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("conflict witness missing production %q:\n%s", want, joined)
+		}
+	}
+	if len(r.ByCode(CodeCircular)) != 0 {
+		t.Errorf("ordering conflict misclassified as circular: %+v", r.Diagnostics)
+	}
+}
+
+func TestCheckMissingRule(t *testing.T) {
+	b := ag.NewBuilder("incomplete")
+	leaf := b.Terminal("LEAF")
+	x := b.Nonterminal("x", ag.Syn("v"), ag.Inh("env"))
+	root := b.Nonterminal("root", ag.Syn("out"))
+	b.Start(root)
+	// Neither x.env (RHS-inherited) nor root.out (LHS-synthesized) is
+	// defined here; x -> LEAF defines x.v properly.
+	b.Production(root, []*ag.Symbol{x})
+	b.Production(x, []*ag.Symbol{leaf}, ag.Const("v", 1))
+	g, errs := b.BuildUnchecked()
+	if len(errs) != 0 {
+		t.Fatalf("unexpected builder errors: %v", errs)
+	}
+	r := Check(g)
+	ds := r.ByCode(CodeMissingRule)
+	if len(ds) != 2 {
+		t.Fatalf("missing-rule findings = %d, want 2: %+v", len(ds), r.Diagnostics)
+	}
+	got := map[string]bool{}
+	for _, d := range ds {
+		got[d.Symbol+"."+d.Attr] = true
+	}
+	for _, want := range []string{"root.out", "x.env"} {
+		if !got[want] {
+			t.Errorf("no missing-rule finding for %s: %+v", want, ds)
+		}
+	}
+}
+
+func TestCheckDeadProductionAndReachability(t *testing.T) {
+	b := ag.NewBuilder("dead")
+	leaf := b.Terminal("LEAF")
+	root := b.Nonterminal("root", ag.Syn("out"))
+	orphan := b.Nonterminal("orphan", ag.Syn("v"))
+	loop := b.Nonterminal("loop", ag.Syn("v"))
+	b.Start(root)
+	b.Production(root, []*ag.Symbol{leaf}, ag.Const("out", 1))
+	b.Production(orphan, []*ag.Symbol{leaf}, ag.Const("v", 1))
+	b.Production(loop, []*ag.Symbol{loop}, ag.Copy("v", "1.v"))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	r := Check(g)
+	if r.HasErrors() {
+		t.Fatalf("flow problems must be warnings, got errors: %+v", r.Diagnostics)
+	}
+	if ds := r.ByCode(CodeUnreachable); len(ds) != 2 {
+		t.Errorf("unreachable findings = %d, want 2 (orphan, loop): %+v", len(ds), ds)
+	}
+	if ds := r.ByCode(CodeUnproductive); len(ds) != 1 || ds[0].Symbol != "loop" {
+		t.Errorf("unproductive findings = %+v, want exactly loop", ds)
+	}
+	if ds := r.ByCode(CodeDeadProd); len(ds) != 2 {
+		t.Errorf("dead-production findings = %d, want 2: %+v", len(ds), ds)
+	}
+}
+
+func TestCheckUnusedAttr(t *testing.T) {
+	b := ag.NewBuilder("unused")
+	leaf := b.Terminal("LEAF", ag.Syn("text"))
+	root := b.Nonterminal("root", ag.Syn("out"))
+	b.Start(root)
+	// LEAF.text is never read; root.out is the grammar's output and is
+	// exempt.
+	b.Production(root, []*ag.Symbol{leaf}, ag.Const("out", 1))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	r := Check(g)
+	ds := r.ByCode(CodeUnusedAttr)
+	if len(ds) != 1 || ds[0].Symbol != "LEAF" || ds[0].Attr != "text" {
+		t.Fatalf("unused-attr findings = %+v, want exactly LEAF.text", ds)
+	}
+}
+
+func TestCheckStructuralViaUnchecked(t *testing.T) {
+	b := ag.NewBuilder("broken")
+	leaf := b.Terminal("LEAF")
+	root := b.Nonterminal("root", ag.Syn("out"), ag.Inh("bad"))
+	b.Start(root)
+	b.Production(root, []*ag.Symbol{leaf},
+		ag.Const("out", 1),
+		ag.Const("out", 2), // duplicate definition
+		ag.Const("bad", 0), // LHS-inherited target: not normal form
+		ag.RuleSpec{},      // unparseable empty target, dropped by builder
+	)
+	g, errs := b.BuildUnchecked()
+	if len(errs) == 0 {
+		t.Fatal("expected builder ref errors for the empty rule")
+	}
+	r := Check(g)
+	if len(r.ByCode(CodeDuplicateRule)) != 1 {
+		t.Errorf("duplicate-rule findings: %+v", r.ByCode(CodeDuplicateRule))
+	}
+	if len(r.ByCode(CodeNotNormalForm)) != 1 {
+		t.Errorf("not-normal-form findings: %+v", r.ByCode(CodeNotNormalForm))
+	}
+	// Start symbol with an inherited attribute is its own finding.
+	found := false
+	for _, d := range r.ByCode(CodeBadStructure) {
+		if d.Symbol == "root" && d.Attr == "bad" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no bad-structure finding for inherited start attribute: %+v", r.Diagnostics)
+	}
+}
+
+func TestEnrichPreservesErrorsAs(t *testing.T) {
+	g := circularGrammar(t)
+	_, err := ag.Analyze(g)
+	if err == nil {
+		t.Fatal("Analyze accepted a circular grammar")
+	}
+	enriched := Enrich(g, err)
+	var ce *ag.CircularityError
+	if !errors.As(enriched, &ce) {
+		t.Fatalf("Enrich broke errors.As: %v", enriched)
+	}
+	if len(ce.Witness) == 0 {
+		t.Fatal("Enrich left Witness empty")
+	}
+	if !strings.Contains(enriched.Error(), "cycle:") {
+		t.Errorf("enriched message lacks witness: %s", enriched.Error())
+	}
+}
+
+func TestEnrichNotOrderedGrammar(t *testing.T) {
+	g := notOrderedGrammar(t)
+	_, err := ag.Analyze(g)
+	if err == nil {
+		t.Fatal("Analyze accepted a non-ordered grammar")
+	}
+	enriched := Enrich(g, err)
+	var ce *ag.CircularityError
+	var ne *ag.NotOrderedError
+	switch {
+	case errors.As(enriched, &ne):
+		if len(ne.Witness) == 0 {
+			t.Error("NotOrderedError witness empty after Enrich")
+		}
+	case errors.As(enriched, &ce):
+		// ag.Analyze conservatively reports the strong-composition cycle
+		// as circularity; Enrich must still attach the cycle witness.
+		if len(ce.Witness) == 0 {
+			t.Error("CircularityError witness empty after Enrich")
+		}
+	default:
+		t.Fatalf("unexpected error type: %v", enriched)
+	}
+	if unrelated := errors.New("boring"); Enrich(g, unrelated) != unrelated {
+		t.Error("Enrich rewrote an unrelated error")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := Check(notOrderedGrammar(t))
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(r, &back) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", r, &back)
+	}
+	var buf bytes.Buffer
+	back.Format(&buf)
+	if !strings.Contains(buf.String(), "error[not-ordered]") {
+		t.Errorf("formatted report missing finding:\n%s", buf.String())
+	}
+}
+
+func TestBuiltinGrammarsClean(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *ag.Grammar
+	}{
+		{"exprlang", exprlang.MustNew().G},
+		{"pascal", pascal.MustNew().G},
+	} {
+		r := Check(tc.g)
+		if r.HasErrors() {
+			var buf bytes.Buffer
+			r.Format(&buf)
+			t.Errorf("%s grammar has errors:\n%s", tc.name, buf.String())
+		}
+		t.Logf("%s: %s", tc.name, r.Summary())
+	}
+}
+
+func TestCheckSpecMalformed(t *testing.T) {
+	src := `%nosplit root : syn out
+%bogus what
+%start root
+%%
+root : NOPE
+    $.out = mystery($1.value) ;
+`
+	r := CheckSpec(src, agspec.Library{})
+	if !r.HasErrors() {
+		t.Fatalf("malformed spec produced no errors: %+v", r.Diagnostics)
+	}
+	specErrs := r.ByCode(CodeSpecError)
+	if len(specErrs) < 2 {
+		t.Fatalf("spec-error findings = %d, want at least 2 (%%bogus, NOPE): %+v", len(specErrs), specErrs)
+	}
+	joined := ""
+	for _, d := range specErrs {
+		joined += d.Message + "\n"
+	}
+	for _, want := range []string{"%bogus", "NOPE"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("spec errors missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCheckSpecValid(t *testing.T) {
+	src := `%name NUMBER
+%nosplit root : syn out
+%start root print
+%%
+root : NUMBER
+    $.out = $1.string ;
+`
+	r := CheckSpec(src, agspec.Library{})
+	if r.HasErrors() {
+		var buf bytes.Buffer
+		r.Format(&buf)
+		t.Fatalf("valid spec reported errors:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,398 @@
+package aglint
+
+import (
+	"fmt"
+
+	"pag/internal/ag"
+)
+
+// This file reimplements the ag.Analyze IDP/IDS dependency fixpoint
+// with edge *provenance*: every one-step edge remembers whether it
+// came from a semantic rule of the production at hand or was induced
+// by another production's projection, and induced edges remember which
+// production first created the order. Where ag.Analyze answers "there
+// is a cycle" with the self-dependent attribute, this analysis
+// recovers the complete witness — the attribute chain and the
+// production every edge travels through — and classifies the cycle:
+// a cycle carried by a single production's own rules is true
+// circularity, while a cycle woven from induced orders of several
+// productions is an ordering conflict (the grammar may be noncircular,
+// but no single visit partition satisfies every production — the
+// situation Kastens' ordered-grammar test rejects).
+
+// symEdge is one symbol-level transitive dependency: attribute To of
+// Sym depends on attribute From, an order first induced by production
+// Prod. The entry doubles as its own provenance.
+type symEdge struct {
+	sym      *ag.Symbol
+	from, to int
+	prod     *ag.Production
+}
+
+// depEdge is one one-step edge of a production's occurrence graph.
+type depEdge struct {
+	from, to int
+	// rule is the direct semantic-rule edge's production (nil for
+	// induced edges); induced carries the provenance of injected
+	// symbol-level edges.
+	rule    *ag.Production
+	induced *symEdge
+}
+
+// depGraph is the occurrence graph of one production: occurrence occ's
+// attribute a is node base[occ]+a, edges point from dependency to
+// dependent ("from must be evaluated before to").
+type depGraph struct {
+	p    *ag.Production
+	base []int
+	n    int
+	adj  [][]depEdge
+	seen map[[2]int]bool
+}
+
+func newDepGraph(p *ag.Production) *depGraph {
+	g := &depGraph{p: p, seen: map[[2]int]bool{}}
+	g.base = make([]int, 1+len(p.RHS))
+	n := 0
+	for occ := 0; occ <= len(p.RHS); occ++ {
+		g.base[occ] = n
+		n += len(p.Sym(occ).Attrs)
+	}
+	g.n = n
+	g.adj = make([][]depEdge, n)
+	for ri := range p.Rules {
+		r := &p.Rules[ri]
+		if !refOK(p, r.Target) {
+			continue
+		}
+		t := g.base[r.Target.Occ] + r.Target.Attr
+		for _, d := range r.Deps {
+			if !refOK(p, d) {
+				continue
+			}
+			g.addEdge(depEdge{from: g.base[d.Occ] + d.Attr, to: t, rule: p})
+		}
+	}
+	return g
+}
+
+// refOK bounds-checks an attribute reference without assuming the
+// grammar passed ag validation.
+func refOK(p *ag.Production, r ag.AttrRef) bool {
+	if r.Occ < 0 || r.Occ > len(p.RHS) {
+		return false
+	}
+	sym := p.Sym(r.Occ)
+	return sym != nil && r.Attr >= 0 && r.Attr < len(sym.Attrs)
+}
+
+func (g *depGraph) addEdge(e depEdge) bool {
+	k := [2]int{e.from, e.to}
+	if g.seen[k] {
+		return false
+	}
+	g.seen[k] = true
+	g.adj[e.from] = append(g.adj[e.from], e)
+	return true
+}
+
+// locate maps a flat node back to (occ, attr).
+func (g *depGraph) locate(node int) (occ, attr int) {
+	for o := 0; o < len(g.base); o++ {
+		if g.base[o] <= node {
+			occ = o
+		}
+	}
+	return occ, node - g.base[occ]
+}
+
+// nodeName renders a node as "sym.attr" (LHS) or "sym.attr@k" (k-th
+// RHS occurrence), matching the spec language's $.a / $k.a notation.
+func (g *depGraph) nodeName(node int) string {
+	occ, attr := g.locate(node)
+	sym := g.p.Sym(occ)
+	name := fmt.Sprintf("%s.%s", sym.Name, sym.Attrs[attr].Name)
+	if occ > 0 {
+		name = fmt.Sprintf("%s@%d", name, occ)
+	}
+	return name
+}
+
+// reach computes transitive reachability over the one-step edges.
+func (g *depGraph) reach() [][]bool {
+	r := make([][]bool, g.n)
+	for i := range r {
+		r[i] = make([]bool, g.n)
+		for _, e := range g.adj[i] {
+			r[i][e.to] = true
+		}
+	}
+	for k := 0; k < g.n; k++ {
+		rk := r[k]
+		for i := 0; i < g.n; i++ {
+			if !r[i][k] {
+				continue
+			}
+			ri := r[i]
+			for j := 0; j < g.n; j++ {
+				if rk[j] {
+					ri[j] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// cycleInfo is one dependency cycle found in a production graph.
+type cycleInfo struct {
+	g     *depGraph
+	nodes []int     // nodes[i] -> nodes[i+1], closing back to nodes[0]
+	edges []depEdge // edges[i] connects nodes[i] to nodes[(i+1)%len]
+}
+
+// shortestCycle finds a minimal cycle through start via BFS over the
+// one-step edges (start is known to reach itself).
+func shortestCycle(g *depGraph, start int) *cycleInfo {
+	prev := make([]int, g.n)
+	via := make([]depEdge, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	queue := []int{start}
+	found := false
+	for len(queue) > 0 && !found {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[n] {
+			if e.to == start {
+				// Close the cycle: walk back from n to start, collecting
+				// [n ... start] and the edge that reached each node.
+				var nodes []int
+				var edges []depEdge
+				for at := n; ; at = prev[at] {
+					nodes = append(nodes, at)
+					if at == start {
+						break
+					}
+					edges = append(edges, via[at])
+				}
+				// Re-order forward so edges[i] runs nodes[i] -> nodes[i+1].
+				for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+					nodes[i], nodes[j] = nodes[j], nodes[i]
+				}
+				for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+					edges[i], edges[j] = edges[j], edges[i]
+				}
+				edges = append(edges, e) // n -> start closes the cycle
+				return &cycleInfo{g: g, nodes: nodes, edges: edges}
+			}
+			if prev[e.to] == -1 && e.to != start {
+				prev[e.to] = n
+				via[e.to] = e
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return nil
+}
+
+// witness renders the cycle, one line per edge plus a header line.
+func (c *cycleInfo) witness() []string {
+	header := "cycle:"
+	for _, n := range c.nodes {
+		header += " " + c.g.nodeName(n) + " ->"
+	}
+	header += " " + c.g.nodeName(c.nodes[0])
+	lines := []string{header}
+	for i, e := range c.edges {
+		from := c.g.nodeName(c.nodes[i])
+		to := c.g.nodeName(c.nodes[(i+1)%len(c.nodes)])
+		if e.rule != nil {
+			lines = append(lines, fmt.Sprintf("%s depends on %s (semantic rule of production %s)", to, from, e.rule))
+		} else {
+			lines = append(lines, fmt.Sprintf("%s depends on %s (order induced via production %s)", to, from, e.induced.prod))
+		}
+	}
+	return lines
+}
+
+// inducers returns the distinct productions whose induced orders the
+// cycle uses (excluding the production the cycle lives in).
+func (c *cycleInfo) inducers() []*ag.Production {
+	var out []*ag.Production
+	seen := map[int]bool{}
+	for _, e := range c.edges {
+		if e.induced == nil || e.induced.prod == c.g.p || seen[e.induced.prod.Index] {
+			continue
+		}
+		seen[e.induced.prod.Index] = true
+		out = append(out, e.induced.prod)
+	}
+	return out
+}
+
+// orderConflict reports whether the cycle is better explained as an
+// ordering conflict than as true circularity: it is woven from orders
+// induced by at least two productions beyond the one it appears in
+// (no single parse tree stacks those contexts around one node, but no
+// single visit partition satisfies both — the non-OAG situation).
+// A cycle carried by one production's rules, or by one production's
+// rules plus one nesting context, is genuine circularity.
+func (c *cycleInfo) orderConflict() bool { return len(c.inducers()) >= 2 }
+
+// conflictWitness names the conflicting partition assignments: which
+// evaluation order each involved production demands of the symbol's
+// attributes.
+func (c *cycleInfo) conflictWitness() []string {
+	var lines []string
+	for i, e := range c.edges {
+		from := c.g.nodeName(c.nodes[i])
+		to := c.g.nodeName(c.nodes[(i+1)%len(c.nodes)])
+		switch {
+		case e.rule != nil:
+			lines = append(lines, fmt.Sprintf("production %s requires %s before %s", e.rule, from, to))
+		default:
+			lines = append(lines, fmt.Sprintf("production %s requires %s.%s before %s.%s (projected onto %s and %s)",
+				e.induced.prod, e.induced.sym.Name, e.induced.sym.Attrs[e.induced.from].Name,
+				e.induced.sym.Name, e.induced.sym.Attrs[e.induced.to].Name, from, to))
+		}
+	}
+	return lines
+}
+
+// depResult is the fixpoint outcome: either a cycle, or the symbol-
+// level transitive dependency relation with provenance.
+type depResult struct {
+	g      *ag.Grammar
+	graphs []*depGraph
+	ids    [][][]*symEdge // [symbol][from][to], nil = no dependency
+	cycle  *cycleInfo
+}
+
+// analyzeDeps runs the provenance-carrying IDP/IDS fixpoint. It stops
+// at the first cycle, mirroring ag.Analyze's iteration order so the
+// two report the same production.
+func analyzeDeps(g *ag.Grammar) *depResult {
+	r := &depResult{g: g}
+	r.ids = make([][][]*symEdge, len(g.Symbols))
+	for i, s := range g.Symbols {
+		r.ids[i] = make([][]*symEdge, len(s.Attrs))
+		for j := range r.ids[i] {
+			r.ids[i][j] = make([]*symEdge, len(s.Attrs))
+		}
+	}
+	r.graphs = make([]*depGraph, 0, len(g.Prods))
+	for _, p := range g.Prods {
+		if p.LHS == nil {
+			continue
+		}
+		r.graphs = append(r.graphs, newDepGraph(p))
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pg := range r.graphs {
+			p := pg.p
+			// Inject the current symbol-level relation of every
+			// occurrence as induced one-step edges.
+			for occ := 0; occ <= len(p.RHS); occ++ {
+				sym := p.Sym(occ)
+				if sym == nil || sym.Index >= len(r.ids) {
+					continue
+				}
+				sr := r.ids[sym.Index]
+				base := pg.base[occ]
+				for i := range sr {
+					for j := range sr[i] {
+						if sr[i][j] == nil {
+							continue
+						}
+						if pg.addEdge(depEdge{from: base + i, to: base + j, induced: sr[i][j]}) {
+							changed = true
+						}
+					}
+				}
+			}
+			reach := pg.reach()
+			for n := 0; n < pg.n; n++ {
+				if reach[n][n] {
+					r.cycle = shortestCycle(pg, n)
+					return r
+				}
+			}
+			// Project the closure back onto symbol-level relations.
+			for occ := 0; occ <= len(p.RHS); occ++ {
+				sym := p.Sym(occ)
+				if sym == nil || sym.Index >= len(r.ids) {
+					continue
+				}
+				sr := r.ids[sym.Index]
+				base := pg.base[occ]
+				for i := range sr {
+					for j := range sr[i] {
+						if i != j && reach[base+i][base+j] && sr[i][j] == nil {
+							sr[i][j] = &symEdge{sym: sym, from: i, to: j, prod: p}
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// checkDeps runs the dependency pass: a found cycle becomes either a
+// circularity diagnostic with its complete witness or a not-ordered
+// diagnostic naming the conflicting partition assignments.
+func (r *Report) checkDeps(g *ag.Grammar) *depResult {
+	res := analyzeDeps(g)
+	if res.cycle == nil {
+		return res
+	}
+	c := res.cycle
+	occ, attr := c.g.locate(c.nodes[0])
+	sym := c.g.p.Sym(occ)
+	if c.orderConflict() {
+		inducers := c.inducers()
+		msg := fmt.Sprintf("no single visit order for the attributes of %s satisfies every production: "+
+			"%d productions induce conflicting orders (grammar is not ordered in Kastens' sense)",
+			sym.Name, len(inducers)+1)
+		r.add(Diagnostic{
+			Code: CodeNotOrdered, Severity: Error,
+			Symbol: sym.Name, Attr: sym.Attrs[attr].Name, Production: c.g.p.String(),
+			Message: msg,
+			Witness: c.conflictWitness(),
+		})
+		return res
+	}
+	r.add(Diagnostic{
+		Code: CodeCircular, Severity: Error,
+		Symbol: sym.Name, Attr: sym.Attrs[attr].Name, Production: c.g.p.String(),
+		Message: fmt.Sprintf("%s.%s transitively depends on itself", sym.Name, sym.Attrs[attr].Name),
+		Witness: c.witness(),
+	})
+	return res
+}
+
+// Enrich fills the Witness of an *ag.CircularityError or
+// *ag.NotOrderedError with the complete dependency path computed by
+// this package. The error value is mutated in place and returned, so
+// existing errors.As call sites keep matching; any other error is
+// returned untouched.
+func Enrich(g *ag.Grammar, err error) error {
+	if err == nil || g == nil {
+		return err
+	}
+	switch e := err.(type) {
+	case *ag.CircularityError:
+		if res := analyzeDeps(g); res.cycle != nil {
+			e.Witness = res.cycle.witness()
+		}
+	case *ag.NotOrderedError:
+		if res := analyzeDeps(g); res.cycle != nil && res.cycle.orderConflict() {
+			e.Witness = res.cycle.conflictWitness()
+		}
+	}
+	return err
+}

@@ -1,0 +1,196 @@
+// Package aglint is the grammar diagnostics engine: a multi-pass
+// static analysis over an ag.Grammar that returns structured findings
+// instead of failing on the first error. Where ag.Analyze answers
+// "can I generate an evaluator for this?" with a single error, aglint
+// answers "everything wrong, suspicious or slow about this grammar",
+// each finding carrying enough structure (symbol, production,
+// attribute, witness path) for a tool — pagc -check, agdump, the pagd
+// registration gate — to render or transmit it.
+//
+// Passes:
+//
+//   - structure: missing or duplicated semantic rules, rules outside
+//     Bochmann normal form, nil evaluation functions, out-of-range
+//     attribute references, inherited attributes on terminals or the
+//     start symbol.
+//   - flow: symbols unreachable from the start symbol, unproductive
+//     symbols (can never derive a finite tree), dead productions.
+//   - usage: attributes no rule ever reads (start-symbol synthesized
+//     attributes are the grammar's outputs and count as read).
+//   - dependency: the IDP/IDS fixpoint with edge provenance. A cycle
+//     is reported with its complete witness — the attribute chain and
+//     the production each edge travels through — and classified:
+//     a cycle carried by one production's own rules is "circular",
+//     while a cycle woven from induced orders of several productions
+//     is "not-ordered" (the conflicting partition assignments are
+//     named).
+//   - advisory: cut-cost bottlenecks from ag.CutPlan — split symbols
+//     whose attribute interface makes every cut at them expensive.
+package aglint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Severity ranks a finding. Errors make the grammar unusable (no
+// evaluator can be generated, or evaluation would be undefined);
+// warnings flag almost-certain specification mistakes that do not
+// block generation; advice is performance guidance.
+type Severity int
+
+// Severities, most severe first.
+const (
+	Error Severity = iota + 1
+	Warning
+	Advice
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	case Advice:
+		return "advice"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its name, so JSON reports read
+// naturally and round-trip.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "advice":
+		*s = Advice
+	default:
+		return fmt.Errorf("aglint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diagnostic codes. Stable identifiers: tools and tests match on
+// these, not on message text.
+const (
+	CodeCircular      = "circular"        // attribute depends on itself
+	CodeNotOrdered    = "not-ordered"     // conflicting visit orders between productions
+	CodeMissingRule   = "missing-rule"    // occurrence with no defining semantic rule
+	CodeDuplicateRule = "duplicate-rule"  // occurrence defined twice
+	CodeNotNormalForm = "not-normal-form" // rule defines RHS-syn or LHS-inh
+	CodeNilEval       = "nil-eval"        // rule without an evaluation function
+	CodeBadRef        = "bad-ref"         // attribute reference out of range
+	CodeBadStructure  = "bad-structure"   // terminal LHS, inherited terminal attr, bad start
+	CodeUnreachable   = "unreachable"     // symbol not derivable from the start symbol
+	CodeUnproductive  = "unproductive"    // symbol can never derive a finite tree
+	CodeDeadProd      = "dead-production" // production that can never fire
+	CodeUnusedAttr    = "unused-attr"     // attribute no rule reads
+	CodeCutBottleneck = "cut-bottleneck"  // split symbol with a poisonous cut cost
+	CodeNoSplit       = "no-split"        // no split symbol: decomposition impossible
+	CodeSpecError     = "spec-error"      // specification text did not parse
+)
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	// Symbol, Attr and Production locate the finding where they apply.
+	Symbol     string `json:"symbol,omitempty"`
+	Attr       string `json:"attr,omitempty"`
+	Production string `json:"production,omitempty"`
+	Message    string `json:"message"`
+	// Witness is the supporting dependency path: for circularity, the
+	// complete cycle (one edge per line, with the production it
+	// travels through); for ordering conflicts, the clashing partition
+	// assignments.
+	Witness []string `json:"witness,omitempty"`
+}
+
+func (d *Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%s]", d.Severity, d.Code)
+	if d.Symbol != "" {
+		b.WriteString(" " + d.Symbol)
+		if d.Attr != "" {
+			b.WriteString("." + d.Attr)
+		}
+	}
+	if d.Production != "" {
+		fmt.Fprintf(&b, " (%s)", d.Production)
+	}
+	b.WriteString(": " + d.Message)
+	return b.String()
+}
+
+// Report is the complete outcome of checking one grammar.
+type Report struct {
+	Grammar     string       `json:"grammar"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// add appends a diagnostic.
+func (r *Report) add(d Diagnostic) { r.Diagnostics = append(r.Diagnostics, d) }
+
+// Count returns how many findings have the given severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for i := range r.Diagnostics {
+		if r.Diagnostics[i].Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the number of error-severity findings.
+func (r *Report) Errors() int { return r.Count(Error) }
+
+// HasErrors reports whether any finding blocks evaluator generation.
+func (r *Report) HasErrors() bool { return r.Errors() > 0 }
+
+// ByCode returns the findings with the given code, in report order.
+func (r *Report) ByCode(code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format writes the human-readable report: one line per finding,
+// witness lines indented beneath it, and a trailing summary.
+func (r *Report) Format(w io.Writer) {
+	for i := range r.Diagnostics {
+		d := &r.Diagnostics[i]
+		fmt.Fprintln(w, d.String())
+		for _, line := range d.Witness {
+			fmt.Fprintln(w, "    "+line)
+		}
+	}
+	fmt.Fprintf(w, "grammar %s: %d error(s), %d warning(s), %d advisory(ies)\n",
+		r.Grammar, r.Count(Error), r.Count(Warning), r.Count(Advice))
+}
+
+// Summary is the one-line form of the report's totals.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d error(s), %d warning(s), %d advisory(ies)",
+		r.Count(Error), r.Count(Warning), r.Count(Advice))
+}

@@ -1,0 +1,25 @@
+package aglint
+
+import (
+	"pag/internal/agspec"
+)
+
+// CheckSpec parses a specification text leniently and checks whatever
+// grammar survives. Parse-time problems (syntax errors, unknown
+// semantic functions, missing conversion functions) become spec-error
+// diagnostics ahead of the grammar-level findings, so a malformed
+// specification yields a structured report rather than a single error
+// or a panic.
+func CheckSpec(src string, lib agspec.Library) *Report {
+	res, errs := agspec.ParseLenient(src, lib)
+	r := Check(res.Grammar)
+	if len(errs) == 0 {
+		return r
+	}
+	specDiags := make([]Diagnostic, 0, len(errs)+len(r.Diagnostics))
+	for _, e := range errs {
+		specDiags = append(specDiags, Diagnostic{Code: CodeSpecError, Severity: Error, Message: e.Error()})
+	}
+	r.Diagnostics = append(specDiags, r.Diagnostics...)
+	return r
+}

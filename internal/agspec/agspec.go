@@ -89,8 +89,35 @@ func Parse(src string, lib Library) (*Result, error) {
 	return &Result{Grammar: g, StartFn: p.startFn, Prec: p.prec}, nil
 }
 
+// ParseLenient compiles as much of a specification as possible instead
+// of stopping at the first problem: unknown semantic functions become
+// inert stubs, missing conversion functions become placeholder codecs,
+// malformed lines are skipped, and the surviving fragments are
+// assembled with BuildUnchecked. The returned Result always carries a
+// non-nil Grammar — suitable for static diagnostics (internal/aglint),
+// never for evaluation — and the error slice lists every problem
+// found, in source order.
+func ParseLenient(src string, lib Library) (*Result, []error) {
+	p := &specParser{
+		lib:     lib,
+		lenient: true,
+		b:       ag.NewBuilder("agspec"),
+		syms:    map[string]*ag.Symbol{},
+		lines:   strings.Split(src, "\n"),
+	}
+	if err := p.declarations(); err != nil {
+		p.errs = append(p.errs, err)
+	} else if err := p.productions(); err != nil {
+		p.errs = append(p.errs, err)
+	}
+	g, buildErrs := p.b.BuildUnchecked()
+	return &Result{Grammar: g, StartFn: p.startFn, Prec: p.prec}, append(p.errs, buildErrs...)
+}
+
 type specParser struct {
 	lib     Library
+	lenient bool
+	errs    []error
 	b       *ag.Builder
 	syms    map[string]*ag.Symbol
 	lines   []string
@@ -125,53 +152,69 @@ func (p *specParser) declarations() error {
 	for {
 		line, ok := p.next()
 		if !ok {
-			return p.errf("missing %%%% separator")
+			err := p.errf("missing %%%% separator")
+			if p.lenient {
+				p.errs = append(p.errs, err)
+				return nil
+			}
+			return err
 		}
 		p.lineNo++
 		if line == "%%" {
 			return nil
 		}
-		fields := tokenizeDecl(line)
-		if len(fields) == 0 || !strings.HasPrefix(fields[0], "%") {
-			return p.errf("expected a %%-declaration, got %q", line)
-		}
-		switch fields[0] {
-		case "%name":
-			for _, name := range fields[1:] {
-				if err := p.declareSymbol(name); err != nil {
-					return err
-				}
-				p.syms[name] = p.b.Terminal(name, ag.Syn("string"))
-			}
-		case "%keyword":
-			for _, name := range fields[1:] {
-				if err := p.declareSymbol(name); err != nil {
-					return err
-				}
-				p.syms[name] = p.b.Terminal(name)
-			}
-		case "%nosplit", "%split":
-			if err := p.nonterminal(fields); err != nil {
+		if err := p.declaration(line); err != nil {
+			if !p.lenient {
 				return err
 			}
-		case "%start":
-			if len(fields) < 2 {
-				return p.errf("%%start needs a symbol")
-			}
-			sym, ok := p.syms[fields[1]]
-			if !ok {
-				return p.errf("%%start: unknown symbol %q", fields[1])
-			}
-			p.b.Start(sym)
-			if len(fields) > 2 {
-				p.startFn = fields[2]
-			}
-		case "%left", "%right":
-			p.prec = append(p.prec, PrecLevel{Assoc: fields[0][1:], Tokens: fields[1:]})
-		default:
-			return p.errf("unknown declaration %s", fields[0])
+			p.errs = append(p.errs, err)
 		}
 	}
+}
+
+// declaration parses one %-declaration line.
+func (p *specParser) declaration(line string) error {
+	fields := tokenizeDecl(line)
+	if len(fields) == 0 || !strings.HasPrefix(fields[0], "%") {
+		return p.errf("expected a %%-declaration, got %q", line)
+	}
+	switch fields[0] {
+	case "%name":
+		for _, name := range fields[1:] {
+			if err := p.declareSymbol(name); err != nil {
+				return err
+			}
+			p.syms[name] = p.b.Terminal(name, ag.Syn("string"))
+		}
+	case "%keyword":
+		for _, name := range fields[1:] {
+			if err := p.declareSymbol(name); err != nil {
+				return err
+			}
+			p.syms[name] = p.b.Terminal(name)
+		}
+	case "%nosplit", "%split":
+		if err := p.nonterminal(fields); err != nil {
+			return err
+		}
+	case "%start":
+		if len(fields) < 2 {
+			return p.errf("%%start needs a symbol")
+		}
+		sym, ok := p.syms[fields[1]]
+		if !ok {
+			return p.errf("%%start: unknown symbol %q", fields[1])
+		}
+		p.b.Start(sym)
+		if len(fields) > 2 {
+			p.startFn = fields[2]
+		}
+	case "%left", "%right":
+		p.prec = append(p.prec, PrecLevel{Assoc: fields[0][1:], Tokens: fields[1:]})
+	default:
+		return p.errf("unknown declaration %s", fields[0])
+	}
+	return nil
 }
 
 func (p *specParser) declareSymbol(name string) error {
@@ -231,7 +274,12 @@ func (p *specParser) nonterminal(fields []string) error {
 		if c, ok := p.lib.Codecs[words[1]]; ok {
 			spec = spec.WithCodec(c)
 		} else if split {
-			return p.errf("%s.%s: split symbol attribute needs a conversion function in the library", name, words[1])
+			err := p.errf("%s.%s: split symbol attribute needs a conversion function in the library", name, words[1])
+			if !p.lenient {
+				return err
+			}
+			p.errs = append(p.errs, err)
+			spec = spec.WithCodec(placeholderCodec{})
 		}
 		specs = append(specs, spec)
 	}
@@ -255,40 +303,56 @@ func (p *specParser) productions() error {
 			return nil
 		}
 		p.lineNo++
-		lhsName, rhsNames, err := p.header(line)
-		if err != nil {
-			return err
-		}
-		lhs, ok := p.syms[lhsName]
-		if !ok {
-			return p.errf("unknown symbol %q", lhsName)
-		}
-		var rhs []*ag.Symbol
-		for _, rn := range rhsNames {
-			s, ok := p.syms[rn]
-			if !ok {
-				return p.errf("unknown symbol %q on right-hand side", rn)
-			}
-			rhs = append(rhs, s)
-		}
-		var rules []ag.RuleSpec
-		for {
-			ruleLine, ok := p.next()
-			if !ok {
-				break
-			}
-			if !strings.Contains(ruleLine, "=") || !strings.HasPrefix(ruleLine, "$") {
-				break // next production header
-			}
-			p.lineNo++
-			rule, err := p.rule(ruleLine)
-			if err != nil {
+		if err := p.production(line); err != nil {
+			if !p.lenient {
 				return err
 			}
-			rules = append(rules, rule)
+			p.errs = append(p.errs, err)
 		}
-		p.b.Production(lhs, rhs, rules...)
 	}
+}
+
+// production parses one production: its header line plus the rule
+// lines that follow it.
+func (p *specParser) production(line string) error {
+	lhsName, rhsNames, err := p.header(line)
+	if err != nil {
+		return err
+	}
+	lhs, ok := p.syms[lhsName]
+	if !ok {
+		return p.errf("unknown symbol %q", lhsName)
+	}
+	var rhs []*ag.Symbol
+	for _, rn := range rhsNames {
+		s, ok := p.syms[rn]
+		if !ok {
+			return p.errf("unknown symbol %q on right-hand side", rn)
+		}
+		rhs = append(rhs, s)
+	}
+	var rules []ag.RuleSpec
+	for {
+		ruleLine, ok := p.next()
+		if !ok {
+			break
+		}
+		if !strings.Contains(ruleLine, "=") || !strings.HasPrefix(ruleLine, "$") {
+			break // next production header
+		}
+		p.lineNo++
+		rule, err := p.rule(ruleLine)
+		if err != nil {
+			if !p.lenient {
+				return err
+			}
+			p.errs = append(p.errs, err)
+			continue
+		}
+		rules = append(rules, rule)
+	}
+	p.b.Production(lhs, rhs, rules...)
+	return nil
 }
 
 // header parses "lhs : sym sym ..." (an empty right side is allowed).
@@ -338,7 +402,12 @@ func (p *specParser) rule(line string) (ag.RuleSpec, error) {
 	fnName := strings.TrimSpace(rhs[:open])
 	fn, ok := p.lib.Funcs[fnName]
 	if !ok {
-		return ag.RuleSpec{}, p.errf("unknown semantic function %q", fnName)
+		err := p.errf("unknown semantic function %q", fnName)
+		if !p.lenient {
+			return ag.RuleSpec{}, err
+		}
+		p.errs = append(p.errs, err)
+		fn = func([]ag.Value) ag.Value { return nil }
 	}
 	argsText := strings.TrimSpace(rhs[open+1 : len(rhs)-1])
 
@@ -425,6 +494,15 @@ func tokenizeDecl(line string) []string {
 	}
 	return out
 }
+
+// placeholderCodec stands in for a missing conversion function in
+// lenient mode so the grammar's shape survives for analysis. It must
+// never carry real evaluation traffic.
+type placeholderCodec struct{}
+
+func (placeholderCodec) Encode(v ag.Value) ([]byte, error) { return []byte(fmt.Sprint(v)), nil }
+
+func (placeholderCodec) Decode(data []byte) (ag.Value, error) { return string(data), nil }
 
 // splitList splits on sep at depth zero (outside parentheses).
 func splitList(s string, sep byte) []string {

@@ -1,0 +1,99 @@
+package agspec_test
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/agspec"
+)
+
+// TestParseLenientCollectsErrors: lenient parsing never panics, never
+// returns a nil grammar, and records every problem in source order
+// instead of stopping at the first.
+func TestParseLenientCollectsErrors(t *testing.T) {
+	src := "%bogus decl\n" + // unknown declaration (line 1)
+		"%keyword LEAF\n" +
+		"%nosplit root : syn out\n" +
+		"%start root\n" +
+		"%%\n" +
+		"NOPE not a production\n" + // malformed production header (line 6)
+		"root : LEAF\n" +
+		"    $.out = mystery($1.string) ;\n" // unknown function (line 8)
+	res, errs := agspec.ParseLenient(src, agspec.Library{})
+	if res == nil || res.Grammar == nil {
+		t.Fatal("ParseLenient returned a nil result or grammar")
+	}
+	if len(errs) < 3 {
+		t.Fatalf("got %d errors, want >= 3: %v", len(errs), errs)
+	}
+	for i, want := range []string{"unknown declaration", "production", "unknown semantic function"} {
+		if !strings.Contains(errs[i].Error(), want) {
+			t.Errorf("errs[%d] = %v, want containing %q (source order)", i, errs[i], want)
+		}
+	}
+	// The surviving fragments are still assembled: the grammar carries
+	// the declared symbols even though lines around them were bad.
+	if res.Grammar.Start == nil || res.Grammar.Start.Name != "root" {
+		t.Errorf("lenient grammar lost the start symbol: %+v", res.Grammar.Start)
+	}
+}
+
+// TestParseLenientMissingSeparator: a spec with no %% still yields a
+// grammar (empty) plus the explanatory error, rather than a panic.
+func TestParseLenientMissingSeparator(t *testing.T) {
+	res, errs := agspec.ParseLenient("%keyword LEAF\n", agspec.Library{})
+	if res == nil || res.Grammar == nil {
+		t.Fatal("nil result for separator-less spec")
+	}
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "missing %%") {
+		t.Errorf("errors = %v, want missing %%%% first", errs)
+	}
+}
+
+// TestParseLenientMissingCodec: a %split attribute with no conversion
+// function gets a placeholder codec so diagnostics can proceed, and
+// the omission is reported.
+func TestParseLenientMissingCodec(t *testing.T) {
+	src := "%keyword LEAF\n%split x 10 : syn mystery\n%nosplit root : syn out\n%start root\n%%\nroot : LEAF\n    $.out = 1 ;\n"
+	res, errs := agspec.ParseLenient(src, agspec.Library{})
+	if res.Grammar == nil {
+		t.Fatal("nil grammar")
+	}
+	found := false
+	for _, err := range errs {
+		if strings.Contains(err.Error(), "conversion function") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing-codec not reported: %v", errs)
+	}
+	for _, sym := range res.Grammar.Symbols {
+		if sym.Name != "x" {
+			continue
+		}
+		for _, a := range sym.Attrs {
+			if a.Name == "mystery" && a.Codec == nil {
+				t.Error("split attribute left without a placeholder codec")
+			}
+		}
+	}
+}
+
+// TestParseLenientCleanSpecNoErrors: on a valid spec, lenient and
+// strict parsing agree.
+func TestParseLenientCleanSpecNoErrors(t *testing.T) {
+	src := "%keyword LEAF\n%nosplit root : syn out\n%start root\n%%\nroot : LEAF\n    $.out = 1 ;\n"
+	res, errs := agspec.ParseLenient(src, agspec.Library{})
+	if len(errs) != 0 {
+		t.Fatalf("clean spec produced errors: %v", errs)
+	}
+	strict, err := agspec.Parse(src, agspec.Library{})
+	if err != nil {
+		t.Fatalf("strict Parse failed: %v", err)
+	}
+	if res.Grammar.Name != strict.Grammar.Name || len(res.Grammar.Symbols) != len(strict.Grammar.Symbols) {
+		t.Errorf("lenient and strict grammars diverge: %d vs %d symbols",
+			len(res.Grammar.Symbols), len(strict.Grammar.Symbols))
+	}
+}

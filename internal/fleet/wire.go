@@ -17,6 +17,12 @@
 // (FaultTransport).
 package fleet
 
+// This file is the sealed wire codec (paglint/sealedio: the one place
+// raw encoding/json is legitimate) and produces canonical wire bytes
+// (paglint/determinism).
+//paglint:sealed
+//paglint:deterministic
+
 import (
 	"bytes"
 	"crypto/sha256"

@@ -1,12 +1,15 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 
 	"pag/internal/ag"
+	"pag/internal/aglint"
 	"pag/internal/cluster"
 	"pag/internal/eval"
 	"pag/internal/rope"
@@ -66,6 +69,28 @@ func (w *Worker) Register(g *ag.Grammar, a *ag.Analysis, lex tree.TerminalAttrs)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.grammars[g.Name] = &langEntry{g: g, a: a, lex: lex}
+}
+
+// RegisterChecked is Register behind a diagnostics gate: the grammar
+// runs through the static diagnostics engine first, and one with
+// error-severity findings is refused with an error listing every such
+// finding. A misconfigured worker thereby fails loudly at startup
+// instead of serving evaluations from a grammar the coordinator's
+// analysis would reject.
+func (w *Worker) RegisterChecked(g *ag.Grammar, a *ag.Analysis, lex tree.TerminalAttrs) error {
+	report := aglint.Check(g)
+	if report.HasErrors() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "fleet: refusing to register grammar %s: %s", g.Name, report.Summary())
+		for i := range report.Diagnostics {
+			if d := &report.Diagnostics[i]; d.Severity == aglint.Error {
+				b.WriteString("\n  " + d.String())
+			}
+		}
+		return errors.New(b.String())
+	}
+	w.Register(g, a, lex)
+	return nil
 }
 
 // SetMaxSessions overrides the concurrent-session bound (n <= 0 keeps

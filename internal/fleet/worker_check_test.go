@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/ag"
+	"pag/internal/pascal"
+)
+
+// brokenGrammar builds a grammar whose root.out is never defined, so
+// aglint reports a missing-rule error. BuildUnchecked lets it through
+// to exercise the worker-side gate.
+func brokenGrammar(t *testing.T) *ag.Grammar {
+	t.Helper()
+	b := ag.NewBuilder("broken")
+	leaf := b.Terminal("LEAF")
+	root := b.Nonterminal("root", ag.Syn("out"))
+	b.Start(root)
+	b.Production(root, []*ag.Symbol{leaf})
+	g, errs := b.BuildUnchecked()
+	if g == nil {
+		t.Fatalf("BuildUnchecked returned no grammar: %v", errs)
+	}
+	return g
+}
+
+func TestRegisterCheckedRejectsBrokenGrammar(t *testing.T) {
+	w := NewWorker()
+	err := w.RegisterChecked(brokenGrammar(t), nil, nil)
+	if err == nil {
+		t.Fatal("RegisterChecked accepted a grammar with errors")
+	}
+	for _, want := range []string{"refusing to register", "missing-rule", "root.out"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q:\n%s", want, err.Error())
+		}
+	}
+	w.mu.Lock()
+	_, registered := w.grammars["broken"]
+	w.mu.Unlock()
+	if registered {
+		t.Error("broken grammar was registered despite the error")
+	}
+}
+
+func TestRegisterCheckedAcceptsCleanGrammar(t *testing.T) {
+	l := pascal.MustNew()
+	a, err := ag.Analyze(l.G)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	w := NewWorker()
+	if err := w.RegisterChecked(l.G, a, l.TerminalAttrs); err != nil {
+		t.Fatalf("RegisterChecked rejected the Pascal grammar: %v", err)
+	}
+	w.mu.Lock()
+	_, registered := w.grammars[l.G.Name]
+	w.mu.Unlock()
+	if !registered {
+		t.Error("clean grammar not registered")
+	}
+}

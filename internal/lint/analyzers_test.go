@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"pag/internal/lint"
+	"pag/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/determinism", "example/canon", lint.Determinism)
+}
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/lockdiscipline", "example/runtime", lint.LockDiscipline)
+}
+
+func TestSealedIO(t *testing.T) {
+	// The analyzer keys on the package path: the fixture poses as a
+	// fleet package.
+	linttest.Run(t, "testdata/sealedio", "example/internal/fleet", lint.SealedIO)
+}
+
+func TestSealedIOIgnoresOtherPackages(t *testing.T) {
+	// The same violating fixture under a non-fleet path produces no
+	// findings: raw JSON is only a crime on fleet payload paths.
+	pkgs, err := lint.LoadPackages(".", "pag/internal/lint")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if ds := lint.Run(pkgs, []*lint.Analyzer{lint.SealedIO}); len(ds) != 0 {
+		t.Errorf("sealedio fired outside internal/fleet: %v", ds)
+	}
+}
+
+// TestLoadPackages exercises the go list -export loader on a real
+// module package and checks type information is present.
+func TestLoadPackages(t *testing.T) {
+	pkgs, err := lint.LoadPackages(".", "pag/internal/tree")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatalf("package loaded without type info: %+v", p)
+	}
+	if !strings.HasSuffix(p.PkgPath, "internal/tree") {
+		t.Errorf("PkgPath = %q", p.PkgPath)
+	}
+}
+
+func TestLoadPackagesBadPattern(t *testing.T) {
+	if _, err := lint.LoadPackages(".", "pag/internal/nonexistent"); err == nil {
+		t.Fatal("LoadPackages accepted a nonexistent package")
+	}
+}

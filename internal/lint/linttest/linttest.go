@@ -1,0 +1,171 @@
+// Package linttest runs a lint.Analyzer over a fixture package and
+// checks its findings against `// want "regex"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest — a comment
+//
+//	v := time.Now() // want `time\.Now`
+//
+// demands exactly one finding on that line whose message matches the
+// pattern; any unmatched finding and any unsatisfied want fails the
+// test. Fixtures live under testdata/ (invisible to the go tool) and
+// are type-checked for real, against gc export data from the build
+// cache, so analyzers are tested with the same type information they
+// see in production.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pag/internal/lint"
+)
+
+// expectation is one want pattern anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	met     bool
+}
+
+// Run analyzes the one-package fixture in dir (as import path
+// pkgPath) with analyzer a and checks findings against the fixture's
+// want comments. //paglint:allow suppression is applied, so fixtures
+// can assert that directives silence findings.
+func Run(t *testing.T, dir, pkgPath string, a *lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	var files []*ast.File
+	var wants []*expectation
+	imports := map[string]bool{}
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+		ws, err := parseWants(fset, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		exports, err = lint.ExportMap(".", paths...)
+		if err != nil {
+			t.Fatalf("building export map: %v", err)
+		}
+	}
+	tpkg, info, err := lint.TypeCheck(fset, pkgPath, files, exports)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	diags := lint.Run([]*lint.Package{{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}}, []*lint.Analyzer{a})
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: want %q, but no finding matched", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmet want matching d and reports success.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts `// want "p1" "p2"` expectations from f.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(text[len("want "):])
+			for rest != "" {
+				lit, tail, err := nextString(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, lit, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				rest = strings.TrimSpace(tail)
+			}
+		}
+	}
+	return out, nil
+}
+
+// nextString parses one leading quoted (double or back) string.
+func nextString(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				lit, err = strconv.Unquote(s[:i+1])
+				return lit, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string")
+	default:
+		return "", "", fmt.Errorf("expected quoted pattern, found %q", s)
+	}
+}

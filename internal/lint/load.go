@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -json=<fields>` in dir and decodes the JSON
+// stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ExportMap compiles patterns (and everything they depend on) and
+// returns import path → gc export-data file. The files live in the
+// build cache, so repeat calls are cheap and no network is involved.
+func ExportMap(dir string, patterns ...string) (map[string]string, error) {
+	entries, err := goList(dir, append([]string{"-export", "-deps", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// exportImporter resolves imports from an ExportMap via the standard
+// gc export-data reader.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates the types.Info maps the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// TypeCheck type-checks already-parsed files as package pkgPath,
+// resolving imports from exports.
+func TypeCheck(fset *token.FileSet, pkgPath string, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, error) {
+	conf := types.Config{
+		Importer: exportImporter(fset, exports),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := newInfo()
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// LoadPackages parses and type-checks the packages matching patterns
+// (go list syntax, e.g. "./...") inside module directory dir. Test
+// files are excluded: the invariants under lint live in runtime code.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exports, err := ExportMap(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, append([]string{"-e", "-json=ImportPath,Dir,GoFiles,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	var errs []error
+	for _, t := range targets {
+		if t.Error != nil {
+			errs = append(errs, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err))
+			continue
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		info := newInfo()
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %v", t.ImportPath, err))
+			continue
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: t.ImportPath,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	if len(errs) > 0 {
+		return pkgs, errors.Join(errs...)
+	}
+	return pkgs, nil
+}

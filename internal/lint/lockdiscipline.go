@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockDiscipline flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held: channel sends and receives,
+// selects without a default clause, time.Sleep and
+// sync.WaitGroup.Wait. In the evaluation runtime a fragment worker
+// that parks on a channel while holding a pool or job mutex deadlocks
+// every sibling that needs the same lock — the bug class the
+// coordinator's park/wake protocol is specifically structured to
+// avoid (unlock first, then park). A select *with* a default is a
+// non-blocking poll and is allowed; `defer mu.Unlock()` counts as
+// holding the lock to the end of the function.
+//
+// The analysis is per-function and flow-approximate: it tracks lock
+// state along straight-line control flow, takes the intersection of
+// states over branches, and treats loop bodies independently. It sees
+// through neither function calls nor goroutines — it is a lint for a
+// discipline, not a deadlock prover.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flags blocking operations (channel ops, bare selects, sleeps, waits) while a mutex is held",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				w := &lockWalker{pass: pass}
+				w.stmts(body.List, lockState{})
+			}
+			return true // descend: nested FuncLits get their own walk
+		})
+	}
+}
+
+// lockState maps a rendered mutex expression ("j.mu") to the position
+// of the Lock call that acquired it.
+type lockState map[string]token.Pos
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// intersectStates keeps only mutexes held on every fall-through path.
+func intersectStates(states []lockState) lockState {
+	out := states[0].clone()
+	for _, s := range states[1:] {
+		for k := range out {
+			if _, ok := s[k]; !ok {
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// report emits one finding naming the (first, for determinism) held
+// mutex and where it was locked.
+func (w *lockWalker) report(pos token.Pos, what string, held lockState) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lock := w.pass.Fset.Position(held[keys[0]])
+	w.pass.Report(pos, "%s while %s is held (Lock at line %d)", what, keys[0], lock.Line)
+}
+
+// mutexOp matches a statement-level call to a sync.Mutex/RWMutex
+// Lock/RLock/Unlock/RUnlock method and returns the rendered receiver
+// and the method name.
+func (w *lockWalker) mutexOp(e ast.Expr) (key, method string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := w.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	switch recvTypeName(fn) {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// recvTypeName returns the name of a method's receiver type, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// checkExpr flags blocking constructs inside an expression evaluated
+// while held is non-empty. Function literals are skipped — their
+// bodies run elsewhere and are walked as functions of their own.
+func (w *lockWalker) checkExpr(e ast.Expr, held lockState) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.report(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			w.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall flags known-blocking calls.
+func (w *lockWalker) checkCall(call *ast.CallExpr, held lockState) {
+	if fn := w.pass.CalleeIn(call, "time"); fn != nil && fn.Name() == "Sleep" {
+		w.report(call.Pos(), "time.Sleep", held)
+	}
+	if fn := w.pass.CalleeIn(call, "sync"); fn != nil && fn.Name() == "Wait" && recvTypeName(fn) == "WaitGroup" {
+		w.report(call.Pos(), "sync.WaitGroup.Wait", held)
+	}
+}
+
+// stmts walks a statement list threading lock state; the bool result
+// reports whether the list terminates abruptly (return/branch).
+func (w *lockWalker) stmts(list []ast.Stmt, held lockState) (lockState, bool) {
+	for _, st := range list {
+		var term bool
+		held, term = w.stmt(st, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) stmt(st ast.Stmt, held lockState) (lockState, bool) {
+	switch x := st.(type) {
+	case *ast.ExprStmt:
+		if key, method, ok := w.mutexOp(x.X); ok {
+			held = held.clone()
+			switch method {
+			case "Lock", "RLock":
+				held[key] = x.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return held, false
+		}
+		w.checkExpr(x.X, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(x.Pos(), "channel send", held)
+		}
+		w.checkExpr(x.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		// Never blocks.
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end — the
+		// state deliberately stays. Other deferred calls run at return
+		// time; only their arguments are evaluated here.
+		if _, _, ok := w.mutexOp(x.Call); !ok {
+			for _, a := range x.Call.Args {
+				w.checkExpr(a, held)
+			}
+		}
+	case *ast.GoStmt:
+		for _, a := range x.Call.Args {
+			w.checkExpr(a, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.checkExpr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.BlockStmt:
+		return w.stmts(x.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		w.checkExpr(x.Cond, held)
+		var after []lockState
+		if body, term := w.stmts(x.Body.List, held.clone()); !term {
+			after = append(after, body)
+		}
+		if x.Else != nil {
+			if els, term := w.stmt(x.Else, held.clone()); !term {
+				after = append(after, els)
+			}
+		} else {
+			after = append(after, held)
+		}
+		if len(after) == 0 {
+			return lockState{}, false
+		}
+		return intersectStates(after), false
+	case *ast.ForStmt:
+		s := held.clone()
+		if x.Init != nil {
+			s, _ = w.stmt(x.Init, s)
+		}
+		w.checkExpr(x.Cond, s)
+		if body, term := w.stmts(x.Body.List, s); !term && x.Post != nil {
+			w.stmt(x.Post, body)
+		}
+		return held, false
+	case *ast.RangeStmt:
+		w.checkExpr(x.X, held)
+		w.stmts(x.Body.List, held.clone())
+		return held, false
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		w.checkExpr(x.Tag, held)
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.checkExpr(e, held)
+			}
+			w.stmts(cc.Body, held.clone())
+		}
+		return held, false
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		for _, c := range x.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, held.clone())
+		}
+		return held, false
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range x.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.report(x.Pos(), "select without a default clause", held)
+		}
+		// The comm operations themselves are the select's blocking
+		// semantics (already judged above); only clause bodies are
+		// walked.
+		for _, c := range x.Body.List {
+			w.stmts(c.(*ast.CommClause).Body, held.clone())
+		}
+		return held, false
+	}
+	return held, false
+}

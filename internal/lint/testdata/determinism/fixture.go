@@ -1,0 +1,58 @@
+// Seeded violations for the determinism analyzer. This file opts in:
+//paglint:deterministic
+
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded: map iteration order leaks into the slice.
+func unsortedKeys(attrs map[string]int) []string {
+	var keys []string
+	for k := range attrs {
+		keys = append(keys, k) // want `append inside a range over a map`
+	}
+	return keys
+}
+
+// The same shape, justified: the order is repaired by sorting.
+func sortedKeys(attrs map[string]int) []string {
+	var keys []string
+	for k := range attrs {
+		//paglint:allow determinism -- keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Order-insensitive map folding is fine without a directive.
+func total(attrs map[string]int) int {
+	n := 0
+	for _, v := range attrs {
+		n += v
+	}
+	return n
+}
+
+// Ranging a slice and appending is always fine.
+func double(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+// Seeded: wall-clock time in a canonical encoding.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic code`
+}
+
+// Seeded: process-local randomness in a canonical encoding.
+func jitter() int {
+	return rand.Intn(8) // want `rand\.Intn in deterministic code`
+}

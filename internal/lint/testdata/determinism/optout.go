@@ -1,0 +1,26 @@
+// No //paglint:deterministic directive: this file is ordinary code
+// and may consult the clock and randomness freely.
+
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func retryDelay(attempt int) time.Duration {
+	base := time.Duration(attempt) * 10 * time.Millisecond
+	return base + time.Duration(rand.Intn(5))*time.Millisecond
+}
+
+func now() time.Time {
+	return time.Now()
+}
+
+func keysInAnyOrder(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

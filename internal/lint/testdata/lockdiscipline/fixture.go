@@ -1,0 +1,120 @@
+// Seeded violations for the lockdiscipline analyzer, plus the
+// park/wake shapes the evaluation runtime actually uses, which must
+// stay clean.
+
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu   sync.Mutex
+	wake chan struct{}
+	work []int
+}
+
+// Seeded: sending on an unbuffered channel under the lock deadlocks
+// against a receiver that needs the same lock.
+func (q *queue) badSend(v int) {
+	q.mu.Lock()
+	q.work = append(q.work, v)
+	q.wake <- struct{}{} // want `channel send while q\.mu is held`
+	q.mu.Unlock()
+}
+
+// Unlock first, then signal: clean.
+func (q *queue) goodSend(v int) {
+	q.mu.Lock()
+	q.work = append(q.work, v)
+	q.mu.Unlock()
+	q.wake <- struct{}{}
+}
+
+// Seeded: a deferred Unlock holds the lock across the receive.
+func (q *queue) badReceive() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	<-q.wake // want `channel receive while q\.mu is held`
+	return q.work[0]
+}
+
+// Seeded: a select with no default parks while holding the lock.
+func (q *queue) badSelect(stop chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `select without a default clause while q\.mu is held`
+	case <-q.wake:
+	case <-stop:
+	}
+}
+
+// A select with a default is a non-blocking poll: clean.
+func (q *queue) goodPoll() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Seeded: sleeping with the lock held.
+func (q *queue) badSleep() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while q\.mu is held`
+	q.mu.Unlock()
+}
+
+// Seeded: waiting for a whole group with the lock held.
+func (q *queue) badWait(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while q\.mu is held`
+	q.mu.Unlock()
+}
+
+// The runtime's park/wake shape: every path releases the lock before
+// blocking. Clean.
+func (q *queue) park() int {
+	for {
+		q.mu.Lock()
+		if len(q.work) > 0 {
+			v := q.work[0]
+			q.work = q.work[1:]
+			q.mu.Unlock()
+			return v
+		}
+		q.mu.Unlock()
+		<-q.wake
+	}
+}
+
+// sync.Cond.Wait is *designed* to be called with its lock held: clean.
+func (q *queue) condWait(c *sync.Cond) {
+	q.mu.Lock()
+	for len(q.work) == 0 {
+		c.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// A goroutine launched under the lock runs without it: its body is
+// not the lock holder's code. Clean.
+func (q *queue) spawn() {
+	q.mu.Lock()
+	go func() {
+		<-q.wake
+	}()
+	q.mu.Unlock()
+}
+
+// Deliberate, justified send under the lock.
+func (q *queue) allowedSend(buf chan struct{}) {
+	q.mu.Lock()
+	//paglint:allow lockdiscipline -- buffered channel sized to the worker count, never blocks
+	buf <- struct{}{}
+	q.mu.Unlock()
+}

@@ -1,0 +1,29 @@
+// Seeded violations: fleet payload code bypassing the sealed codec.
+
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+type ping struct {
+	N int `json:"n"`
+}
+
+func encodePing(p ping) ([]byte, error) {
+	return json.Marshal(p) // want `raw encoding/json \(Marshal\)`
+}
+
+func decodePing(data []byte) (ping, error) {
+	var p ping
+	err := json.Unmarshal(data, &p) // want `raw encoding/json \(Unmarshal\)`
+	return p, err
+}
+
+func streamPing(data []byte) (ping, error) {
+	var p ping
+	dec := json.NewDecoder(bytes.NewReader(data)) // want `raw encoding/json \(NewDecoder\)`
+	err := dec.Decode(&p)                         // want `raw encoding/json \(Decode\)`
+	return p, err
+}

@@ -1,0 +1,15 @@
+// The sealed codec implementation itself: the one place raw
+// encoding/json is expected.
+//paglint:sealed
+
+package fleet
+
+import "encoding/json"
+
+func sealJSON(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(payload, 0x5e), nil
+}

@@ -38,7 +38,7 @@ func ParsePriority(s string) (Priority, error) {
 	case "low":
 		return PriorityLow, nil
 	}
-	return PriorityHigh, fmt.Errorf("parallel: unknown priority %q (want high or low)", s)
+	return PriorityHigh, fmt.Errorf("parallel: unknown priority %q (want \"high\" or \"low\")", s)
 }
 
 // ErrQuotaExceeded reports that a client already has its full

@@ -1,5 +1,9 @@
 package parallel
 
+// Cache keys and canonical recordings must be reproducible across
+// runs — replay correctness depends on it (paglint/determinism).
+//paglint:deterministic
+
 import (
 	"container/list"
 	"crypto/sha256"

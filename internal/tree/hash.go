@@ -1,5 +1,9 @@
 package tree
 
+// Digests are content addresses: the encoding below must be
+// bit-identical across runs and machines (paglint/determinism).
+//paglint:deterministic
+
 import (
 	"crypto/sha256"
 	"encoding/binary"

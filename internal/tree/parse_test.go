@@ -1,0 +1,43 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlanner(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Planner
+		ok   bool
+	}{
+		{"", PlanSize, true}, // empty = default
+		{"size", PlanSize, true},
+		{"cost", PlanCost, true},
+		{"Size", 0, false}, // names are case-sensitive
+		{"COST", 0, false},
+		{" size", 0, false}, // no whitespace trimming
+		{"speed", 0, false},
+	} {
+		got, err := ParsePlanner(tc.in)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("ParsePlanner(%q): unexpected error %v", tc.in, err)
+			} else if got != tc.want {
+				t.Errorf("ParsePlanner(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParsePlanner(%q) accepted, want rejection", tc.in)
+			continue
+		}
+		// The message names the rejected input and the accepted
+		// vocabulary, quoted — same shape as ParsePriority's.
+		for _, frag := range []string{`unknown planner "` + tc.in + `"`, `(want "size" or "cost")`} {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("ParsePlanner(%q) error %q missing %q", tc.in, err, frag)
+			}
+		}
+	}
+}
