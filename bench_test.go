@@ -337,6 +337,61 @@ func BenchmarkIncremental(b *testing.B) {
 	})
 }
 
+// BenchmarkWarmRestart measures what the persistent cache buys a
+// process restart: one "process" (open store + pool, compile, close)
+// per op, either over a fresh directory every time (cold-start —
+// nothing to replay, the spill is pure overhead) or over one primed
+// directory (warm-restart — every op replays the recording a previous
+// process left on disk). The gap is the restart economy `pagd
+// -cache-dir` exists for; diskhits/op confirms the warm loop really
+// served from disk. Tracked by the benchstat regression gate.
+func BenchmarkWarmRestart(b *testing.B) {
+	job, err := pascal.MustNew().ClusterJob(workload.Generate(workload.Tiny()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultParallelOptions()
+	opts.Workers = 4
+	ctx := context.Background()
+
+	process := func(b *testing.B, dir string) int64 {
+		store, err := parallel.OpenDiskCache(dir, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := parallel.NewPool(parallel.PoolOptions{Workers: 4, DiskCache: store})
+		if _, err := pool.Compile(ctx, job, opts); err != nil {
+			b.Fatal(err)
+		}
+		hits := pool.Stats().DiskHits
+		pool.Close()
+		return hits
+	}
+
+	b.Run("cold-start", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			process(b, b.TempDir())
+		}
+	})
+	b.Run("warm-restart", func(b *testing.B) {
+		dir := b.TempDir()
+		process(b, dir) // prime: the "previous process" records to disk
+		b.ReportAllocs()
+		b.ResetTimer()
+		var hits int64
+		for i := 0; i < b.N; i++ {
+			hits += process(b, dir)
+		}
+		b.StopTimer()
+		if hits < int64(b.N) {
+			b.Fatalf("warm-restart loop missed disk: %d hit(s) over %d op(s)", hits, b.N)
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "diskhits/op")
+	})
+}
+
 // BenchmarkSustainedLoad drives one pool the way a busy pagd sees it:
 // 32 submitter goroutines pushing a mixed stream of jobs — half warm
 // cache hits, a quarter incremental edits, a quarter forced-cold

@@ -11,8 +11,9 @@
 // multicore Pascal compile (BenchmarkParallelPascal) and the evaluator
 // micro-benchmarks (BenchmarkHotPath), the cache and incremental
 // replay suites, the mixed-traffic service benchmark
-// (BenchmarkSustainedLoad) and the planner comparison
-// (BenchmarkAdaptive).
+// (BenchmarkSustainedLoad), the planner comparison
+// (BenchmarkAdaptive) and the persistent-cache restart benchmark
+// (BenchmarkWarmRestart).
 package main
 
 import (
@@ -51,10 +52,10 @@ type File struct {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental|BenchmarkSustainedLoad|BenchmarkFleet|BenchmarkAdaptive", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkParallelPascal|BenchmarkHotPath|BenchmarkPoolReuse|BenchmarkFragmentCache|BenchmarkIncremental|BenchmarkSustainedLoad|BenchmarkFleet|BenchmarkAdaptive|BenchmarkWarmRestart", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1s", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package to benchmark")
-	out := flag.String("o", "BENCH_PR8.json", "output file")
+	out := flag.String("o", "BENCH_PR10.json", "output file")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json files: benchjson -compare old.json new.json")
 	failOver := flag.Float64("fail-over", 0, "with -compare: exit nonzero when any benchmark regresses by more than this percentage in ns/op, or gains any allocs/op on a zero-alloc baseline (0 = report only)")
 	flag.Parse()

@@ -16,6 +16,13 @@
 //
 //	pagc -batch [-workers 8] [-cache-bytes N] a.pas b.pas c.pas
 //
+// -cache-dir persists the pool's recordings to a crash-safe on-disk
+// store, so a later batch (a separate process) replays files this one
+// compiled — including partial replays of edited versions in -series
+// mode (see README "Persistent cache"):
+//
+//	pagc -batch -cache-dir ~/.cache/pag a.pas b.pas
+//
 // Series mode treats the operands as successive versions of ONE
 // program (an edit series) and compiles them in order through the
 // pool, so each version's unchanged fragments replay incrementally
@@ -73,6 +80,7 @@ func main() {
 	series := flag.Bool("series", false, "batch mode: compile the files sequentially as successive versions of one program (edit series; unchanged fragments replay incrementally)")
 	workers := flag.Int("workers", 0, "batch mode: pool worker goroutines (0 = all CPUs)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "batch mode: fragment cache budget in bytes (0 = default, <0 = disable)")
+	cacheDir := flag.String("cache-dir", "", "batch mode: persist the fragment cache to this directory across runs (empty = in-memory only)")
 	priority := flag.String("priority", "", `batch and daemon modes: admission class of the jobs ("high" or "low"; "" = high)`)
 	daemon := flag.String("daemon", "", "compile via a running pagd at this base URL (e.g. http://localhost:8642) instead of in-process")
 	retries := flag.Int("retries", -1, "daemon mode: retries for requests that failed before a response body started (-1 = default 2)")
@@ -85,6 +93,7 @@ func main() {
 		check: *check, jsonOut: *jsonOut,
 		noLib: *noLib, chain: *chain, gantt: *gantt, asm: *asm, quiet: *quiet,
 		wl: *wl, dump: *dump, batch: *batch, series: *series, workers: *workers, cacheBytes: *cacheBytes,
+		cacheDir:  *cacheDir,
 		priority:  *priority,
 		daemonURL: *daemon, retries: *retries, retryBackoff: *retryBackoff,
 	}
@@ -120,6 +129,7 @@ type config struct {
 	series     bool
 	workers    int
 	cacheBytes int64
+	cacheDir   string
 	priority   string
 	// Daemon mode: base URL of a running pagd, plus the HTTP retry
 	// policy (see daemon.go). retries -1 and retryBackoff 0 mean "use
@@ -188,6 +198,9 @@ func run(out io.Writer, cfg config, args []string) error {
 	}
 	if cfg.cacheBytes != 0 {
 		return fmt.Errorf("-cache-bytes configures the -batch pool's fragment cache; the simulator has none")
+	}
+	if cfg.cacheDir != "" {
+		return fmt.Errorf("-cache-dir persists the -batch pool's fragment cache; the simulator has none")
 	}
 	if cfg.priority != "" {
 		return fmt.Errorf("-priority classes order admission on the -batch pool; the simulator runs one job")
@@ -314,7 +327,20 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 	// the batch: the point of the bounded queue is to protect a
 	// service from unbounded strangers, not to refuse work this
 	// process already holds in argv.
-	pool := parallel.NewPool(parallel.PoolOptions{Workers: cfg.workers, QueueDepth: len(args), CacheBytes: cfg.cacheBytes})
+	poolOpts := parallel.PoolOptions{Workers: cfg.workers, QueueDepth: len(args), CacheBytes: cfg.cacheBytes}
+	if cfg.cacheDir != "" {
+		// The disk layer records and replays through the in-memory
+		// cache, so persisting a disabled cache cannot work.
+		if cfg.cacheBytes < 0 {
+			return fmt.Errorf("-cache-dir persists the fragment cache, which -cache-bytes %d disables", cfg.cacheBytes)
+		}
+		store, err := parallel.OpenDiskCache(cfg.cacheDir, 0)
+		if err != nil {
+			return err
+		}
+		poolOpts.DiskCache = store
+	}
+	pool := parallel.NewPool(poolOpts)
 	defer pool.Close()
 	opts := parallel.Options{
 		Mode:        mode,
@@ -403,6 +429,12 @@ func runBatch(out io.Writer, cfg config, args []string) error {
 		if st := pool.Stats(); st.CacheCapBytes > 0 {
 			fmt.Fprintf(out, "cache: %d whole-job hit(s), %d fragment(s) replayed incrementally across %d job(s), %d candidate(s) demoted\n",
 				st.CacheHits, st.CachePartialHits, st.CachePartialJobs, st.CacheDemoted)
+			if cfg.cacheDir != "" {
+				// Spills are write-behind: the write count settles when
+				// the deferred Close flushes, so it may still be low here.
+				fmt.Fprintf(out, "disk: %d hit(s), %d write(s) so far, %d error(s)\n",
+					st.DiskHits, st.DiskWrites, st.DiskErrors)
+			}
 		}
 	}
 	if failed > 0 {

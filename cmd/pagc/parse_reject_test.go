@@ -18,6 +18,42 @@ func TestPlannerRejectionWording(t *testing.T) {
 	}
 }
 
+// TestCacheDirRejection: -cache-dir outside -batch is refused with
+// the same shape of message as the other pool-only flags, and -batch
+// refuses to persist a cache that -cache-bytes disabled.
+func TestCacheDirRejection(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  config
+		args []string
+		want string
+	}{
+		{
+			"simulator",
+			config{machines: 1, modeName: "combined", planName: "size", cacheDir: "/tmp/pagcache", wl: "tiny"},
+			nil,
+			"-cache-dir persists the -batch pool's fragment cache; the simulator has none",
+		},
+		{
+			"batch-cache-disabled",
+			config{machines: 1, modeName: "combined", planName: "size", batch: true, cacheDir: "/tmp/pagcache", cacheBytes: -1},
+			[]string{"unread.pas"},
+			"-cache-dir persists the fragment cache, which -cache-bytes -1 disables",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(&bytes.Buffer{}, c.cfg, c.args)
+			if err == nil {
+				t.Fatal("bad -cache-dir combination accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}
+
 // TestPriorityRejectionWording: a typo'd -priority in batch mode
 // fails before any file is read, naming the accepted priorities.
 func TestPriorityRejectionWording(t *testing.T) {

@@ -5,7 +5,14 @@
 // per compilation.
 //
 //	pagd -addr :8642 -workers 8 -max-inflight 16 -queue 64 -cache-bytes 67108864 \
-//	     -quota 8 -max-timeout 30s -debug-addr localhost:8643
+//	     -cache-dir /var/cache/pag -quota 8 -max-timeout 30s -debug-addr localhost:8643
+//
+// -cache-dir persists the fragment cache across restarts: cold
+// recordings spill to a crash-safe on-disk store (see README
+// "Persistent cache") and a restarted daemon replays them
+// byte-identically instead of recompiling. -cache-disk-bytes bounds
+// the directory (0 = default 256 MiB, <0 = unbounded); several
+// daemons may share one directory.
 //
 // Endpoints:
 //
@@ -102,6 +109,8 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluating jobs (0 = worker count)")
 	queue := flag.Int("queue", 0, "admission queue depth beyond max-inflight (0 = default, <0 = none)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "fragment cache budget in bytes (0 = default, <0 = disable)")
+	cacheDir := flag.String("cache-dir", "", "persist the fragment cache to this directory across restarts (empty = in-memory only)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 0, "with -cache-dir: on-disk cache bound in bytes (0 = default 256 MiB, <0 = unbounded)")
 	quota := flag.Int("quota", 0, "per-client bound on jobs admitted or waiting (0 = unlimited)")
 	priorityHeader := flag.String("priority-header", defaultPriorityHeader, `request header carrying the job priority ("high" or "low")`)
 	maxTimeout := flag.Duration("max-timeout", 0, "server-side job deadline: caps client timeout_ms and applies to requests without one (0 = none)")
@@ -124,6 +133,21 @@ func main() {
 	poolOpts := parallel.PoolOptions{
 		Workers: *workers, MaxInFlight: *maxInFlight, QueueDepth: *queue,
 		CacheBytes: *cacheBytes, ClientQuota: *quota,
+	}
+	if *cacheDir != "" {
+		// Fail fast: a daemon asked to persist its cache but unable to
+		// (permissions, bad path) should say so at startup, not degrade
+		// silently to in-memory and surprise the operator on restart.
+		store, err := parallel.OpenDiskCache(*cacheDir, *cacheDiskBytes)
+		if err != nil {
+			logger.Error("bad -cache-dir", "error", err.Error())
+			os.Exit(1)
+		}
+		poolOpts.DiskCache = store
+		logger.Info("persistent cache", "dir", store.Dir(), "bytes", store.Bytes())
+	} else if *cacheDiskBytes != 0 {
+		logger.Error("-cache-disk-bytes bounds the -cache-dir store; set -cache-dir")
+		os.Exit(1)
 	}
 	var client *fleet.Client
 	if *fleetAddrs != "" {

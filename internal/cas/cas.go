@@ -1,0 +1,365 @@
+// Package cas is a crash-safe, size-bounded, content-addressed store
+// for compile-cache artifacts: fixed 32-byte keys (SHA-256 content
+// addresses) map to opaque payloads persisted one file per entry.
+//
+// The design goals, in order:
+//
+//   - Crash safety. An entry becomes visible only by an atomic rename
+//     of a fully written temp file, and every read re-verifies a
+//     whole-file checksum, so a torn or interrupted write is *ignored,
+//     not misread* — the damaged file is deleted and the caller treats
+//     the key as absent (and rewrites it on the next cold run).
+//   - Versioning. The store directory carries a manifest naming the
+//     store format and the caller's scope (for the compile cache:
+//     recording layout version + nothing else — grammar identity is
+//     part of each key). Opening a directory whose manifest does not
+//     match wipes the stale objects rather than attempting to decode
+//     them.
+//   - Sharing. Multiple processes may point at one directory. Writers
+//     never modify files in place — callers store interchangeable
+//     content under one key, so rename races are last-writer-wins and
+//     harmless — and
+//     readers tolerate files vanishing underneath them (GC in a
+//     sibling process looks like a miss).
+//   - Bounded size. When the directory exceeds its byte budget, the
+//     oldest entries (by modification time) are removed until it fits.
+//
+// The store knows nothing about what payloads mean; internal/parallel
+// layers its recording encoding (and its own format byte) on top.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key is a 32-byte content address (a SHA-256 digest).
+type Key [sha256.Size]byte
+
+// String returns the key in hex, the form used for object file names.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// FormatVersion is the on-disk entry-file format this package writes
+// and reads. Bumping it makes existing directories open clean (the
+// manifest mismatch wipes them) instead of tripping per-file checks.
+const FormatVersion = 1
+
+// DefaultMaxBytes is the directory byte budget used when
+// Options.MaxBytes is zero.
+const DefaultMaxBytes = 256 << 20
+
+// Store failure modes, distinguishable with errors.Is.
+var (
+	// ErrNotExist reports a Get of a key with no stored entry.
+	ErrNotExist = errors.New("cas: entry does not exist")
+	// ErrCorrupt reports an entry file that failed validation
+	// (truncated, damaged, or written by a different format version).
+	// The file has already been removed when Get returns this.
+	ErrCorrupt = errors.New("cas: entry corrupt")
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the store directory, created if absent.
+	Dir string
+	// MaxBytes bounds the total size of stored entry files; exceeding
+	// it garbage-collects oldest-first. 0 uses DefaultMaxBytes;
+	// negative disables the bound.
+	MaxBytes int64
+	// Scope names the caller's payload layout (for the compile cache,
+	// its recording format version). A directory whose manifest
+	// carries a different scope is wiped on Open — its entries were
+	// written for a payload encoding this caller cannot decode.
+	Scope string
+}
+
+// Store is an open store directory. It is safe for concurrent use by
+// multiple goroutines and (by design of the file layout) multiple
+// processes.
+type Store struct {
+	dir   string
+	max   int64 // <0: unbounded
+	scope string
+
+	bytes atomic.Int64
+	gcMu  sync.Mutex
+}
+
+// manifest is the versioning sentinel at the store root.
+type manifest struct {
+	Format int    `json:"format"`
+	Scope  string `json:"scope,omitempty"`
+}
+
+// Open opens (creating or wiping as needed) the store directory.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("cas: empty store directory")
+	}
+	max := opts.MaxBytes
+	if max == 0 {
+		max = DefaultMaxBytes
+	}
+	s := &Store{dir: opts.Dir, max: max, scope: opts.Scope}
+	for _, sub := range []string{s.objectsDir(), s.tmpDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("cas: %w", err)
+		}
+	}
+	if err := s.checkManifest(); err != nil {
+		return nil, err
+	}
+	total, _ := s.scan(nil)
+	s.bytes.Store(total)
+	s.gc()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Bytes returns the store's current resident size estimate.
+func (s *Store) Bytes() int64 { return s.bytes.Load() }
+
+func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
+func (s *Store) tmpDir() string     { return filepath.Join(s.dir, "tmp") }
+
+// path shards objects by the first key byte, keeping directories small
+// under large caches.
+func (s *Store) path(k Key) string {
+	h := k.String()
+	return filepath.Join(s.objectsDir(), h[:2], h)
+}
+
+// checkManifest validates (or writes) the directory's version
+// manifest; a mismatch wipes the objects — they belong to a layout
+// this store cannot decode — and rewrites the manifest.
+func (s *Store) checkManifest() error {
+	want := manifest{Format: FormatVersion, Scope: s.scope}
+	path := filepath.Join(s.dir, "manifest.json")
+	if data, err := os.ReadFile(path); err == nil {
+		var got manifest
+		if json.Unmarshal(data, &got) == nil && got == want {
+			return nil
+		}
+		// Stale or unreadable layout: drop every object, never decode.
+		if err := os.RemoveAll(s.objectsDir()); err != nil {
+			return fmt.Errorf("cas: wiping stale store: %w", err)
+		}
+		if err := os.MkdirAll(s.objectsDir(), 0o755); err != nil {
+			return fmt.Errorf("cas: %w", err)
+		}
+	}
+	data, err := json.Marshal(want)
+	if err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	return s.writeAtomic(path, data)
+}
+
+// writeAtomic publishes data at path via the temp-file + rename
+// protocol every mutation in this package uses.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(s.tmpDir(), "w-*")
+	if err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cas: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cas: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		// First write into a shard: create it and retry once.
+		if os.MkdirAll(filepath.Dir(path), 0o755) != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("cas: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("cas: %w", err)
+		}
+	}
+	return nil
+}
+
+// Entry file layout: magic | format u32 | key echo | payload length
+// u64 | payload | SHA-256 over everything preceding. The trailing
+// checksum is what makes partial writes (a crash between write and
+// rename cannot produce one, but a copied or torn file can) and bit
+// rot detectable without trusting any field.
+const fileMagic = "pagcas0\n"
+
+const fileHeaderLen = len(fileMagic) + 4 + sha256.Size + 8
+
+func encodeFile(k Key, payload []byte) []byte {
+	buf := make([]byte, 0, fileHeaderLen+len(payload)+sha256.Size)
+	buf = append(buf, fileMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, FormatVersion)
+	buf = append(buf, k[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+func decodeFile(k Key, data []byte) ([]byte, error) {
+	if len(data) < fileHeaderLen+sha256.Size {
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); string(sum[:]) != string(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	pos := 0
+	if string(body[pos:pos+len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	pos += len(fileMagic)
+	if v := binary.LittleEndian.Uint32(body[pos:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: format %d (want %d)", ErrCorrupt, v, FormatVersion)
+	}
+	pos += 4
+	if string(body[pos:pos+sha256.Size]) != string(k[:]) {
+		return nil, fmt.Errorf("%w: key echo mismatch", ErrCorrupt)
+	}
+	pos += sha256.Size
+	n := binary.LittleEndian.Uint64(body[pos:])
+	pos += 8
+	if n != uint64(len(body)-pos) {
+		return nil, fmt.Errorf("%w: payload length %d (have %d)", ErrCorrupt, n, len(body)-pos)
+	}
+	return body[pos:], nil
+}
+
+// Put stores payload under k, replacing any existing entry (callers
+// store interchangeable content under one key, so last-writer-wins is
+// harmless), then garbage-collects if the byte budget is exceeded.
+func (s *Store) Put(k Key, payload []byte) error {
+	data := encodeFile(k, payload)
+	dst := s.path(k)
+	var replaced int64
+	if fi, err := os.Stat(dst); err == nil {
+		replaced = fi.Size()
+	}
+	if err := s.writeAtomic(dst, data); err != nil {
+		return err
+	}
+	s.bytes.Add(int64(len(data)) - replaced)
+	s.gc()
+	return nil
+}
+
+// Get returns the payload stored under k. A missing entry reports
+// ErrNotExist; an entry that fails validation is removed and reports
+// ErrCorrupt (the next cold run rewrites it).
+func (s *Store) Get(k Key) ([]byte, error) {
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotExist
+		}
+		return nil, fmt.Errorf("cas: %w", err)
+	}
+	payload, err := decodeFile(k, data)
+	if err != nil {
+		if os.Remove(path) == nil {
+			s.bytes.Add(-int64(len(data)))
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Delete removes the entry under k, if any. Callers use it to purge
+// entries whose payload failed their own (layered) decoding.
+func (s *Store) Delete(k Key) error {
+	path := s.path(k)
+	fi, err := os.Stat(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("cas: %w", err)
+	}
+	if os.Remove(path) == nil {
+		s.bytes.Add(-fi.Size())
+	}
+	return nil
+}
+
+// object is one entry file seen by a directory scan.
+type object struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// scan walks the objects tree, returning the total size and (when
+// collect is non-nil) appending every entry file to *collect. Races
+// with concurrent removals (sibling-process GC) are tolerated.
+func (s *Store) scan(collect *[]object) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(s.objectsDir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil //nolint:nilerr // vanished files are fine
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil //nolint:nilerr
+		}
+		total += fi.Size()
+		if collect != nil {
+			*collect = append(*collect, object{path: path, size: fi.Size(), mtime: fi.ModTime()})
+		}
+		return nil
+	})
+	return total, err
+}
+
+// gc enforces the byte budget: when the resident estimate exceeds it,
+// rescan the directory (the estimate drifts under shared use) and
+// remove oldest entries first until the total fits. One GC runs at a
+// time; concurrent Puts simply queue behind the mutex on their next
+// trigger.
+func (s *Store) gc() {
+	if s.max < 0 || s.bytes.Load() <= s.max {
+		return
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	var objs []object
+	total, _ := s.scan(&objs)
+	sort.Slice(objs, func(i, j int) bool {
+		if !objs[i].mtime.Equal(objs[j].mtime) {
+			return objs[i].mtime.Before(objs[j].mtime)
+		}
+		return objs[i].path < objs[j].path
+	})
+	for _, o := range objs {
+		if total <= s.max {
+			break
+		}
+		if os.Remove(o.path) == nil {
+			total -= o.size
+		}
+	}
+	s.bytes.Store(total)
+}

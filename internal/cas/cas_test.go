@@ -1,0 +1,281 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testKey(b byte) Key {
+	return sha256.Sum256([]byte{b})
+}
+
+func open(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// TestRoundTrip: what goes in comes out, by key, across a re-open.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, Options{Dir: dir, Scope: "test/v1"})
+	k1, k2 := testKey(1), testKey(2)
+	p1, p2 := []byte("payload one"), []byte{}
+	if err := s.Put(k1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, p2); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(k1); err != nil || !bytes.Equal(got, p1) {
+		t.Fatalf("Get(k1) = %q, %v", got, err)
+	}
+	if got, err := s.Get(k2); err != nil || len(got) != 0 {
+		t.Fatalf("Get(k2) = %q, %v (want empty payload)", got, err)
+	}
+	if _, err := s.Get(testKey(3)); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing key: err = %v, want ErrNotExist", err)
+	}
+	// A second Store over the same directory (a restarted process)
+	// serves the same entries.
+	s2 := open(t, Options{Dir: dir, Scope: "test/v1"})
+	if got, err := s2.Get(k1); err != nil || !bytes.Equal(got, p1) {
+		t.Fatalf("reopened Get(k1) = %q, %v", got, err)
+	}
+	if s2.Bytes() <= 0 {
+		t.Errorf("reopened store reports %d resident bytes", s2.Bytes())
+	}
+}
+
+// TestCorruptEntriesSkippedAndRemoved: a truncated file, a bit-flipped
+// file, and a wrong-format-version file each fail Get with ErrCorrupt
+// and are deleted, so the key reads as absent afterwards — the
+// "ignored, not misread" contract.
+func TestCorruptEntriesSkippedAndRemoved(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"bitflip", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[len(out)/2] ^= 0x40
+			return out
+		}},
+		{"wrong-version", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			// The format field sits right after the magic; rewriting it
+			// alone would trip the checksum first, so rebuild the file
+			// as a future version would: new field, fresh checksum.
+			out[len(fileMagic)] = 99
+			body := out[:len(out)-sha256.Size]
+			sum := sha256.Sum256(body)
+			return append(body, sum[:]...)
+		}},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := open(t, Options{Dir: t.TempDir()})
+			k := testKey(7)
+			if err := s.Put(k, []byte("precious recording")); err != nil {
+				t.Fatal(err)
+			}
+			path := s.path(k)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, c.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(k); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Get of damaged entry: err = %v, want ErrCorrupt", err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("damaged entry file still present after Get")
+			}
+			if _, err := s.Get(k); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("second Get: err = %v, want ErrNotExist", err)
+			}
+			// The next "cold run" rewrites the entry and it reads clean.
+			if err := s.Put(k, []byte("precious recording")); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := s.Get(k); err != nil || string(got) != "precious recording" {
+				t.Fatalf("rewritten Get = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// TestKeyEchoMismatch: an entry renamed to another key's path (a
+// corrupted or tampered directory) never serves the wrong payload.
+func TestKeyEchoMismatch(t *testing.T) {
+	s := open(t, Options{Dir: t.TempDir()})
+	k1, k2 := testKey(1), testKey(2)
+	if err := s.Put(k1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	dst := s.path(k2)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path(k1), dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(k2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("misplaced entry: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestManifestMismatchWipes: opening a directory written under a
+// different scope (or missing its manifest) drops the stale objects
+// instead of attempting to decode them.
+func TestManifestMismatchWipes(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey(9)
+	s := open(t, Options{Dir: dir, Scope: "recordings/v1"})
+	if err := s.Put(k, []byte("old layout")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, Options{Dir: dir, Scope: "recordings/v2"})
+	if _, err := s2.Get(k); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stale-scope entry survived the wipe: err = %v", err)
+	}
+	if s2.Bytes() != 0 {
+		t.Errorf("wiped store reports %d resident bytes", s2.Bytes())
+	}
+	// Same scope again: still empty (the wipe was real), but usable.
+	if err := s2.Put(k, []byte("new layout")); err != nil {
+		t.Fatal(err)
+	}
+	s3 := open(t, Options{Dir: dir, Scope: "recordings/v2"})
+	if got, err := s3.Get(k); err != nil || string(got) != "new layout" {
+		t.Fatalf("same-scope reopen Get = %q, %v", got, err)
+	}
+
+	// A mangled manifest is indistinguishable from a stale one.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4 := open(t, Options{Dir: dir, Scope: "recordings/v2"})
+	if _, err := s4.Get(k); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("entry survived a corrupt manifest: err = %v", err)
+	}
+}
+
+// TestGCBoundsSize: the store deletes oldest entries to hold the byte
+// budget, keeping the most recently written ones.
+func TestGCBoundsSize(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 4<<10)
+	perEntry := int64(len(encodeFile(testKey(0), payload)))
+	s := open(t, Options{Dir: dir, MaxBytes: 4 * perEntry})
+	for i := 0; i < 12; i++ {
+		k := testKey(byte(i))
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes make the oldest-first order deterministic;
+		// os.Chtimes beats sleeping between writes.
+		path := s.path(k)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, fi.ModTime(), fi.ModTime().Add(-time.Duration(12-i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more put triggers GC against the backdated files.
+	if err := s.Put(testKey(200), payload); err != nil {
+		t.Fatal(err)
+	}
+	total, _ := s.scan(nil)
+	if total > 4*perEntry {
+		t.Fatalf("store holds %d bytes, budget %d", total, 4*perEntry)
+	}
+	// The newest write survives.
+	if _, err := s.Get(testKey(200)); err != nil {
+		t.Errorf("most recent entry evicted: %v", err)
+	}
+	// The oldest cannot have.
+	if _, err := s.Get(testKey(0)); !errors.Is(err, ErrNotExist) {
+		t.Errorf("oldest entry survived GC: err = %v", err)
+	}
+}
+
+// TestDelete removes an entry and tolerates absent keys.
+func TestDelete(t *testing.T) {
+	s := open(t, Options{Dir: t.TempDir()})
+	k := testKey(5)
+	if err := s.Put(k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(k); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("deleted key: err = %v", err)
+	}
+	if err := s.Delete(k); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// TestConcurrentSharedDir: many goroutines over two Store handles on
+// one directory (the N-replicas-shared-cache shape) put and get
+// overlapping keys; every successful Get returns exactly the bytes
+// some writer stored under that key.
+func TestConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, Options{Dir: dir, Scope: "shared"})
+	b := open(t, Options{Dir: dir, Scope: "shared"})
+	stores := []*Store{a, b}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := stores[g%2]
+			for i := 0; i < 50; i++ {
+				k := testKey(byte(i % 10))
+				want := fmt.Sprintf("content-%d", i%10) // same key => same content
+				if err := s.Put(k, []byte(want)); err != nil {
+					errs <- err
+					return
+				}
+				got, err := s.Get(k)
+				if errors.Is(err, ErrNotExist) {
+					continue // a sibling's GC race; acceptable
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(got) != want {
+					errs <- fmt.Errorf("key %d: got %q, want %q", i%10, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -290,6 +290,12 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	b.val("pag_cache_bytes", float64(m.CacheBytes))
 	b.head("pag_cache_cap_bytes", "gauge", "Fragment-cache byte budget.")
 	b.val("pag_cache_cap_bytes", float64(m.CacheCapBytes))
+	b.head("pag_cache_disk_hits_total", "counter", "Whole-job recordings loaded from the persistent cache.")
+	b.val("pag_cache_disk_hits_total", float64(m.DiskHits))
+	b.head("pag_cache_disk_writes_total", "counter", "Whole-job recordings spilled to the persistent cache.")
+	b.val("pag_cache_disk_writes_total", float64(m.DiskWrites))
+	b.head("pag_cache_disk_errors_total", "counter", "Persistent-cache operations that failed (corrupt or undecodable entries skipped, I/O errors).")
+	b.val("pag_cache_disk_errors_total", float64(m.DiskErrors))
 
 	b.head("pag_plan_jobs_total", "counter", "Completed jobs, by decomposition planner.")
 	b.val(`pag_plan_jobs_total{planner="size"}`, float64(m.PlanJobsSize))

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pag/internal/ag"
+	"pag/internal/cas"
 	"pag/internal/cluster"
 	"pag/internal/rope"
 	"pag/internal/tree"
@@ -43,6 +44,14 @@ type PoolOptions struct {
 	// is what keeps one greedy client from monopolizing the admission
 	// queue of a shared daemon.
 	ClientQuota int
+	// DiskCache, when non-nil, persists whole-job recordings to the
+	// given store and loads them back on whole-tree misses — across
+	// pool restarts, and across processes sharing one directory. Cold
+	// runs spill write-behind (a slow disk never stalls compiles);
+	// loads feed the same replay machinery in-memory hits use, so a
+	// disk hit stays byte-identical to cold evaluation. Requires the
+	// in-memory cache (ignored when CacheBytes is negative).
+	DiskCache *cas.Store
 	// Remote, when set, routes admitted jobs to a distributed
 	// evaluation backend (a pagd worker fleet) instead of the pool's
 	// in-process deques. Admission control, quotas, priorities and all
@@ -126,6 +135,14 @@ type Pool struct {
 	// identical content, see cache.go.
 	cache *fragCache
 
+	// disk is the persistent tier behind cache (nil without
+	// PoolOptions.DiskCache): whole-job recordings spilled write-behind
+	// and loaded on whole-tree misses, see disk.go. gramDigests
+	// memoizes the structural grammar digest the disk keys substitute
+	// for cacheKey's grammar pointer identity.
+	disk        *diskCache
+	gramDigests sync.Map // *ag.Grammar -> [sha256.Size]byte
+
 	// remote, when non-nil, evaluates admitted jobs on a worker fleet
 	// instead of the local deques (PoolOptions.Remote).
 	remote RemoteEvaluator
@@ -188,6 +205,15 @@ type PoolStats struct {
 	CachePartialJobs int64 `json:"partial_jobs"`
 	CacheDemoted     int64 `json:"partial_demotions"`
 
+	// Persistent cache (all zero without PoolOptions.DiskCache):
+	// whole-job recordings loaded from disk, spilled to disk, and disk
+	// operations that failed (I/O errors, corrupt or undecodable
+	// entries — each skipped and rewritten by a later cold run, never
+	// misread).
+	DiskHits   int64 `json:"disk_hits"`
+	DiskWrites int64 `json:"disk_writes"`
+	DiskErrors int64 `json:"disk_errors"`
+
 	// Decomposition-plan observability: total cross-fragment attribute
 	// messages across completed local jobs, the size balance of the
 	// most recent decomposition, and the auto-width cost model's
@@ -231,6 +257,9 @@ func NewPool(opts PoolOptions) *Pool {
 	}
 	if cacheBytes > 0 {
 		p.cache = newFragCache(cacheBytes)
+		if opts.DiskCache != nil {
+			p.disk = newDiskCache(opts.DiskCache)
+		}
 	}
 	p.libs.New = func() any { return rope.NewLibrarian() }
 	for w := 0; w < p.workers; w++ {
@@ -273,6 +302,13 @@ func (p *Pool) Close() {
 	p.adm.drain()
 	p.sched.shutdown()
 	p.wg.Wait()
+	// Flush pending write-behind spills after the last job drained, so
+	// a pool closed right after a cold compile (a daemon handling
+	// SIGTERM above all) leaves its recordings on disk for the next
+	// process.
+	if p.disk != nil {
+		p.disk.close()
+	}
 }
 
 // Stats returns a snapshot of the pool's activity counters.
@@ -301,6 +337,11 @@ func (p *Pool) Stats() PoolStats {
 		st.CachePartialHits = c.partialHits.Load()
 		st.CachePartialJobs = c.partialJobs.Load()
 		st.CacheDemoted = c.demoted.Load()
+	}
+	if d := p.disk; d != nil {
+		st.DiskHits = d.hits.Load()
+		st.DiskWrites = d.writes.Load()
+		st.DiskErrors = d.errors.Load()
 	}
 	st.MessagesTotal = p.messagesTotal.Load()
 	st.LastBalance = math.Float64frombits(p.lastBalance.Load())
@@ -622,6 +663,8 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 	var key cacheKey
 	var fragKeys []fragKey
 	var cands []*fragRecord
+	var dk cas.Key
+	var fragSyms []*ag.Symbol
 	if useCache {
 		digs := decomp.Digests()
 		key = cacheKey{
@@ -658,6 +701,27 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 						cands = make([]*fragRecord, len(decomp.Frags))
 					}
 					cands[i] = rec
+				}
+			}
+		}
+		if p.disk != nil {
+			fragSyms = make([]*ag.Symbol, len(decomp.Frags))
+			for i, f := range decomp.Frags {
+				fragSyms[i] = f.Root.Sym
+			}
+			dk = p.diskKey(&key, job.UIDs)
+			if r.hit == nil {
+				// Memory missed; try the persistent tier. A loaded entry
+				// is published to the in-memory cache first — which also
+				// registers its fragments in the incremental index, so a
+				// later *edited* tree in this process partial-replays
+				// from it exactly as from a local recording — then
+				// replayed whole, superseding any incremental candidates.
+				if e := p.disk.load(dk, fragSyms, job.G); e != nil && len(e.frags) == decomp.NumFragments() {
+					e.fragKeys = fragKeys
+					p.cache.put(key, e)
+					r.hit = e
+					cands = nil
 				}
 			}
 		}
@@ -819,6 +883,14 @@ func (p *Pool) compile(ctx context.Context, job cluster.Job, opts Options) (*Res
 			entry.frags[i] = *f.rec
 		}
 		p.cache.put(key, entry)
+		// Spill the freshly published recording write-behind; the entry
+		// is immutable from here on, so the writer goroutine encodes it
+		// off the compile path. Handle-bearing code values persist
+		// structurally (finalizeRecord already resolved their text),
+		// so nothing below needs this job's librarian.
+		if p.disk != nil {
+			p.disk.spill(dk, entry, fragSyms, job.G)
+		}
 	}
 	// The job completed cleanly, so nothing can reference its handle
 	// namespace anymore: recycle the librarian for the next job.

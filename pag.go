@@ -30,6 +30,7 @@ package pag
 
 import (
 	"pag/internal/ag"
+	"pag/internal/cas"
 	"pag/internal/cluster"
 	"pag/internal/eval"
 	"pag/internal/netsim"
@@ -220,10 +221,16 @@ type (
 	// inputs that changed demote it to live evaluation instead).
 	Pool = parallel.Pool
 	// PoolOptions configures a Pool: workers, max in-flight jobs, the
-	// admission-queue depth, the per-client quota (ClientQuota) and the
+	// admission-queue depth, the per-client quota (ClientQuota), the
 	// fragment-cache byte budget (CacheBytes; 0 = DefaultCacheBytes,
-	// negative disables caching).
+	// negative disables caching) and the optional persistent cache
+	// store (DiskCache, from OpenDiskCache).
 	PoolOptions = parallel.PoolOptions
+	// DiskCache is the crash-safe on-disk store behind
+	// PoolOptions.DiskCache: whole-job recordings spilled write-behind
+	// and replayed byte-identically across pool (and process)
+	// restarts. One directory may be shared by many pools/processes.
+	DiskCache = cas.Store
 	// PoolStats is a snapshot of a Pool's activity, including fragment
 	// cache hit/miss/eviction counters and the incremental-replay
 	// counters (partial hits, partial jobs, demotions).
@@ -242,6 +249,15 @@ type (
 // DefaultCacheBytes is the fragment-cache budget a Pool uses when
 // PoolOptions.CacheBytes is zero.
 const DefaultCacheBytes = parallel.DefaultCacheBytes
+
+// OpenDiskCache opens (creating, or wiping on a layout-version
+// mismatch) dir as a persistent fragment-cache store for
+// PoolOptions.DiskCache. maxBytes bounds the directory's size with
+// oldest-first GC (0 picks a default, negative disables the bound).
+// Stale or damaged entries are skipped and rewritten, never misread.
+func OpenDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
+	return parallel.OpenDiskCache(dir, maxBytes)
+}
 
 // Admission classes (Options.Priority).
 const (
